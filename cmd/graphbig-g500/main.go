@@ -1,0 +1,41 @@
+// Command graphbig-g500 runs the Graph500-style BFS benchmark (R-MAT
+// generation, sampled roots, validated traversals, TEPS statistics) over
+// the GraphBIG framework — the cross-suite comparison point of the
+// paper's Table 3.
+//
+// Usage:
+//
+//	graphbig-g500 [-sscale 14] [-ef 16] [-roots 16] [-seed 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/graphbig/graphbig-go/internal/g500"
+)
+
+func main() {
+	cfg := g500.DefaultConfig()
+	flag.IntVar(&cfg.Scale, "sscale", cfg.Scale, "log2 vertex count")
+	flag.IntVar(&cfg.EdgeFactor, "ef", cfg.EdgeFactor, "edges per vertex")
+	flag.IntVar(&cfg.Roots, "roots", cfg.Roots, "number of BFS roots")
+	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "R-MAT seed")
+	flag.IntVar(&cfg.Workers, "workers", 0, "worker count (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	res, err := g500.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphbig-g500:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("graph: scale %d, %d vertices, %d edges (construction %.2fs)\n",
+		cfg.Scale, res.Vertices, res.Edges, res.ConstructSec)
+	for _, r := range res.Roots {
+		fmt.Printf("root %-8d reached %-8d edges %-9d %8.3f ms  %10.0f TEPS\n",
+			r.Root, r.Reached, r.Edges, r.Seconds*1e3, r.TEPS)
+	}
+	fmt.Printf("harmonic mean: %.0f TEPS, median: %.0f TEPS over %d roots\n",
+		res.HarmonicTEPS, res.MedianTEPS, len(res.Roots))
+}

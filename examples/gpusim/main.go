@@ -1,0 +1,42 @@
+// GPU divergence study — drive the SIMT simulator directly: convert a
+// property graph to CSR (the paper's populate step), run GPU workloads on
+// the simulated Tesla-K40-class device, and compare branch/memory
+// divergence between a thread-centric and an edge-centric kernel — the
+// design axis behind the paper's Figures 10 and 13.
+package main
+
+import (
+	"fmt"
+
+	"github.com/graphbig/graphbig-go/internal/csr"
+	"github.com/graphbig/graphbig-go/internal/gen"
+	"github.com/graphbig/graphbig-go/internal/gpuwl"
+	"github.com/graphbig/graphbig-go/internal/simt"
+)
+
+func main() {
+	for _, dsName := range []string{"ldbc", "ca-road"} {
+		d, err := gen.ByName(dsName)
+		if err != nil {
+			panic(err)
+		}
+		g := d.Generate(0.004, 42, 0)
+		vw := g.View()
+		c := csr.FromProperty(g, vw)
+		fmt.Printf("\n%s: %d vertices, %d edge records (CSR)\n", dsName, c.N, c.NumEdges())
+		fmt.Printf("%-8s %-14s %6s %6s %8s %10s\n", "kernel", "model", "BDR", "MDR", "IPC", "read GB/s")
+		for _, wl := range gpuwl.All() {
+			dev := simt.NewDevice(simt.KeplerConfig())
+			res := wl.Run(dev, c)
+			st := dev.Stats()
+			model := "thread-centric"
+			if wl.Name == "CComp" || wl.Name == "TC" {
+				model = "edge-centric"
+			}
+			fmt.Printf("%-8s %-14s %6.3f %6.3f %8.3f %10.2f   (value=%g)\n",
+				res.Name, model, st.BDR(), st.MDR(), st.IPC(), dev.ReadThroughputGBs(), res.Value)
+		}
+	}
+	fmt.Println("\nedge-centric kernels (CComp, TC) hold BDR low regardless of degree skew;")
+	fmt.Println("thread-centric kernels inherit the input's degree variance as divergence.")
+}

@@ -1,0 +1,57 @@
+// Quickstart: build a small property graph through the framework
+// primitives, run a few workloads, and read results back from vertex
+// properties — the minimal tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	graphbig "github.com/graphbig/graphbig-go"
+)
+
+func main() {
+	// A toy collaboration network: 0-1-2 triangle with a tail to 3.
+	g := graphbig.New()
+	for id := graphbig.VertexID(0); id < 4; id++ {
+		g.AddVertex(id)
+	}
+	for _, e := range [][3]int{{0, 1, 1}, {1, 2, 2}, {0, 2, 2}, {2, 3, 5}} {
+		if err := g.AddEdge(graphbig.VertexID(e[0]), graphbig.VertexID(e[1]), float64(e[2])); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("graph: %d vertices, %d edges\n", g.VertexCount(), g.EdgeCount())
+
+	// Traverse.
+	bfs, err := graphbig.Run("BFS", g, graphbig.Options{Source: 0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("BFS reached %d vertices, depth %v\n", bfs.Visited, bfs.Stats["depth"])
+
+	// Shortest paths; distances land in the "spath.dist" property.
+	if _, err = graphbig.Run("SPath", g, graphbig.Options{Source: 0}); err != nil {
+		log.Fatal(err)
+	}
+	dist := g.Schema().MustField("spath.dist")
+	for id := graphbig.VertexID(0); id < 4; id++ {
+		v := g.FindVertex(id)
+		fmt.Printf("  dist(0 -> %d) = %g\n", id, g.GetProp(v, dist))
+	}
+
+	// Count triangles.
+	tc, err := graphbig.Run("TC", g, graphbig.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("triangles: %g\n", tc.Stats["triangles"])
+
+	// Generate a real dataset and decompose it.
+	ldbc := graphbig.Dataset("ldbc", 0.002, 42)
+	kc, err := graphbig.Run("kCore", ldbc, graphbig.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LDBC-%dK: max core = %g\n", ldbc.VertexCount()/1000, kc.Stats["max_core"])
+}

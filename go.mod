@@ -1,0 +1,3 @@
+module github.com/graphbig/graphbig-go
+
+go 1.24

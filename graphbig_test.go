@@ -1,0 +1,67 @@
+package graphbig_test
+
+import (
+	"testing"
+
+	graphbig "github.com/graphbig/graphbig-go"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	g := graphbig.New()
+	for i := graphbig.VertexID(0); i < 4; i++ {
+		g.AddVertex(i)
+	}
+	for _, e := range [][2]graphbig.VertexID{{0, 1}, {1, 2}, {0, 2}, {2, 3}} {
+		if err := g.AddEdge(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := graphbig.Run("BFS", g, graphbig.Options{Source: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Visited != 4 {
+		t.Errorf("visited = %d", res.Visited)
+	}
+	if _, err := graphbig.Run("NoSuch", g, graphbig.Options{}); err == nil {
+		t.Error("unknown workload should fail")
+	}
+}
+
+func TestFacadeDirected(t *testing.T) {
+	g := graphbig.NewDirected()
+	g.AddVertex(1)
+	g.AddVertex(2)
+	if err := g.AddEdge(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Directed() {
+		t.Error("NewDirected not directed")
+	}
+	if _, err := g.DeleteVertex(2); err != nil {
+		t.Errorf("directed delete should work with in-tracking: %v", err)
+	}
+}
+
+func TestFacadeDataset(t *testing.T) {
+	g := graphbig.Dataset("ca-road", 0.001, 1)
+	if g.VertexCount() < 64 {
+		t.Errorf("dataset too small: %d", g.VertexCount())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown dataset should panic")
+		}
+	}()
+	graphbig.Dataset("nope", 1, 1)
+}
+
+func TestFacadeWorkloadsAndSession(t *testing.T) {
+	if len(graphbig.Workloads()) != 13 {
+		t.Errorf("workloads = %d", len(graphbig.Workloads()))
+	}
+	s := graphbig.NewSession(0.001, 7)
+	if s == nil || s.Cfg.Scale != 0.001 {
+		t.Error("session config not applied")
+	}
+}

@@ -1,0 +1,140 @@
+package graphbig_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"github.com/graphbig/graphbig-go/internal/core"
+	"github.com/graphbig/graphbig-go/internal/gen"
+	"github.com/graphbig/graphbig-go/internal/loader"
+	"github.com/graphbig/graphbig-go/internal/perfmon"
+	"github.com/graphbig/graphbig-go/internal/property"
+	"github.com/graphbig/graphbig-go/internal/trace"
+	"github.com/graphbig/graphbig-go/internal/workloads"
+)
+
+// TestPipelineGenerateSaveLoadRunTrace exercises the full toolchain the
+// way a user would: generate a dataset, persist it, reload it, run the
+// whole CPU suite on the reloaded copy, then record one workload's trace
+// and verify the replayed machine metrics match a live profile.
+func TestPipelineGenerateSaveLoadRunTrace(t *testing.T) {
+	// 1. Generate and persist.
+	g := gen.LDBC(1200, 77, 0)
+	path := filepath.Join(t.TempDir(), "ldbc.el")
+	if err := loader.Save(path, g); err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Reload; counts and degrees must survive.
+	r, err := loader.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VertexCount() != g.VertexCount() || r.EdgeCount() != g.EdgeCount() {
+		t.Fatalf("reload mismatch: %d/%d vs %d/%d",
+			r.VertexCount(), r.EdgeCount(), g.VertexCount(), g.EdgeCount())
+	}
+	if err := property.Validate(r); err != nil {
+		t.Fatal(err)
+	}
+
+	// 3. Run every graph-input CPU workload on the reloaded graph and pin
+	// its result against the original.
+	for _, wl := range core.Workloads {
+		if wl.NeedsBayes || wl.Mutates {
+			continue
+		}
+		resG, err := wl.Run(&core.RunContext{Graph: g, Opt: workloads.Options{Samples: 4}})
+		if err != nil {
+			t.Fatalf("%s on original: %v", wl.Name, err)
+		}
+		resR, err := wl.Run(&core.RunContext{Graph: r, Opt: workloads.Options{Samples: 4}})
+		if err != nil {
+			t.Fatalf("%s on reloaded: %v", wl.Name, err)
+		}
+		if resG.Visited != resR.Visited {
+			t.Errorf("%s: visited %d (original) vs %d (reloaded)",
+				wl.Name, resG.Visited, resR.Visited)
+		}
+	}
+
+	// 4. Record a trace of kCore, replay it, and compare against a live
+	// profile. Both measured runs start from a freshly loaded graph so
+	// their simulated address layouts are identical (a reused graph's
+	// arena has advanced past the first run's allocations).
+	rec1, err := loader.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vw := rec1.View()
+	var buf bytes.Buffer
+	rec, err := trace.NewRecorder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec1.SetTracker(rec)
+	if _, err := workloads.KCore(rec1, workloads.Options{View: vw}); err != nil {
+		t.Fatal(err)
+	}
+	rec1.SetTracker(nil)
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	live1, err := loader.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vw2 := live1.View()
+	live := perfmon.NewProfile(perfmon.DefaultConfig())
+	live1.SetTracker(live)
+	if _, err := workloads.KCore(live1, workloads.Options{View: vw2}); err != nil {
+		t.Fatal(err)
+	}
+	live1.SetTracker(nil)
+
+	replayed := perfmon.NewProfile(perfmon.DefaultConfig())
+	if _, err := trace.Replay(&buf, replayed); err != nil {
+		t.Fatal(err)
+	}
+	if live.Report().Insts != replayed.Report().Insts {
+		t.Errorf("trace replay insts %d != live %d",
+			replayed.Report().Insts, live.Report().Insts)
+	}
+	if live.Report().TotalCycles != replayed.Report().TotalCycles {
+		t.Errorf("trace replay cycles %d != live %d",
+			replayed.Report().TotalCycles, live.Report().TotalCycles)
+	}
+}
+
+// TestSuiteDeterminism runs the whole CPU suite twice on independently
+// generated identical datasets and requires byte-identical results — the
+// reproducibility property every benchmark suite needs.
+func TestSuiteDeterminism(t *testing.T) {
+	run := func() map[string][2]float64 {
+		g := gen.Gene(1500, 31, 0)
+		out := map[string][2]float64{}
+		for _, wl := range core.Workloads {
+			if wl.NeedsBayes {
+				continue
+			}
+			in := g
+			if wl.Mutates {
+				in = property.Clone(g)
+			}
+			res, err := wl.Run(&core.RunContext{Graph: in, Opt: workloads.Options{Samples: 4, Seed: 5}})
+			if err != nil {
+				t.Fatalf("%s: %v", wl.Name, err)
+			}
+			out[wl.Name] = [2]float64{float64(res.Visited), res.Checksum}
+		}
+		return out
+	}
+	a, b := run(), run()
+	for name, va := range a {
+		if b[name] != va {
+			t.Errorf("%s not deterministic: %v vs %v", name, va, b[name])
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package bayes implements the discrete Bayesian-network substrate behind
+// the Gibbs workload: conditional probability tables (CPTs), Markov
+// blankets, and a MUNIN-like generator. The paper runs Gibbs inference on
+// the MUNIN expert-system network (1041 vertices, 1397 edges, 80592
+// parameters, §5.1); MUNIN's file format is proprietary to the repository
+// that ships it, so Generate builds a network with matching structure:
+// same vertex/edge scale, layered-DAG topology, and a comparable parameter
+// count.
+package bayes
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"github.com/graphbig/graphbig-go/internal/mem"
+)
+
+// Node is one discrete variable of the network.
+type Node struct {
+	States   int32
+	Parents  []int32
+	Children []int32
+	// CPT holds P(state | parent configuration), laid out configuration-
+	// major: CPT[cfg*States + s]. Rows sum to 1.
+	CPT []float64
+
+	cptAddr   uint64
+	stateAddr uint64 // current sample value's simulated slot
+}
+
+// Configs returns the number of parent configurations of n (the CPT row
+// count).
+func (n *Node) Configs() int { return len(n.CPT) / int(n.States) }
+
+// Network is a Bayesian network with a simulated address layout, so the
+// Gibbs workload's CPT lookups and state reads flow into the profiler.
+type Network struct {
+	Nodes []Node
+	arena *mem.Arena
+	trk   mem.Tracker
+}
+
+// SetTracker installs the instrumentation sink (nil for native runs).
+func (nw *Network) SetTracker(t mem.Tracker) { nw.trk = t }
+
+// Tracker returns the current instrumentation sink.
+func (nw *Network) Tracker() mem.Tracker { return nw.trk }
+
+// Params returns the total CPT entry count — the paper's "parameters".
+func (nw *Network) Params() int {
+	p := 0
+	for i := range nw.Nodes {
+		p += len(nw.Nodes[i].CPT)
+	}
+	return p
+}
+
+// Edges returns the number of parent->child edges.
+func (nw *Network) Edges() int {
+	e := 0
+	for i := range nw.Nodes {
+		e += len(nw.Nodes[i].Parents)
+	}
+	return e
+}
+
+// Config sizes a generated network.
+type Config struct {
+	Nodes        int
+	Edges        int
+	TargetParams int
+	Seed         int64
+}
+
+// MUNINConfig mirrors the paper's MUNIN inference input.
+func MUNINConfig() Config {
+	return Config{Nodes: 1041, Edges: 1397, TargetParams: 80592, Seed: 7}
+}
+
+// Generate builds a layered random DAG with cfg.Nodes vertices and about
+// cfg.Edges edges, then assigns per-node state counts so the total CPT
+// parameter count approaches cfg.TargetParams.
+func Generate(cfg Config) (*Network, error) {
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("bayes: need at least 2 nodes, got %d", cfg.Nodes)
+	}
+	n := cfg.Nodes
+	r := rand.New(rand.NewPCG(uint64(cfg.Seed), 0xb7))
+	nw := &Network{
+		Nodes: make([]Node, n),
+		arena: mem.NewArena(1 << 20),
+	}
+	// Structure: each non-root picks parents among lower-numbered nodes
+	// (a topological order by construction), until the edge budget runs
+	// out. Edges spread like MUNIN's: mostly chains with some fan-in.
+	budget := cfg.Edges
+	for i := 1; i < n && budget > 0; i++ {
+		nPar := 1
+		if r.Float64() < 0.3 {
+			nPar = 2
+		}
+		for k := 0; k < nPar && budget > 0; k++ {
+			lo := i - 32
+			if lo < 0 {
+				lo = 0
+			}
+			p := int32(lo + r.IntN(i-lo))
+			dup := false
+			for _, q := range nw.Nodes[i].Parents {
+				if q == p {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			nw.Nodes[i].Parents = append(nw.Nodes[i].Parents, p)
+			nw.Nodes[p].Children = append(nw.Nodes[p].Children, int32(i))
+			budget--
+		}
+	}
+	// State counts: start binary everywhere, then raise node cardinalities
+	// round-robin until the parameter budget is met.
+	for i := range nw.Nodes {
+		nw.Nodes[i].States = 2
+	}
+	params := func() int {
+		p := 0
+		for i := range nw.Nodes {
+			cfgs := 1
+			for _, q := range nw.Nodes[i].Parents {
+				cfgs *= int(nw.Nodes[q].States)
+			}
+			p += cfgs * int(nw.Nodes[i].States)
+		}
+		return p
+	}
+	for pass := 0; pass < 8 && params() < cfg.TargetParams; pass++ {
+		for i := 0; i < n && params() < cfg.TargetParams; i += 1 + r.IntN(3) {
+			if nw.Nodes[i].States < 7 {
+				nw.Nodes[i].States++
+			}
+		}
+	}
+	// Fill CPTs with random rows normalized to 1 and lay out addresses.
+	for i := range nw.Nodes {
+		nd := &nw.Nodes[i]
+		cfgs := 1
+		for _, q := range nd.Parents {
+			cfgs *= int(nw.Nodes[q].States)
+		}
+		nd.CPT = make([]float64, cfgs*int(nd.States))
+		for c := 0; c < cfgs; c++ {
+			sum := 0.0
+			row := nd.CPT[c*int(nd.States) : (c+1)*int(nd.States)]
+			for s := range row {
+				row[s] = 0.05 + r.Float64()
+				sum += row[s]
+			}
+			for s := range row {
+				row[s] /= sum
+			}
+		}
+		nd.cptAddr = nw.arena.Alloc(uint64(len(nd.CPT))*8, 64)
+		nd.stateAddr = nw.arena.Alloc(8, 8)
+	}
+	return nw, nil
+}
+
+// MUNIN generates the paper-scale inference input.
+func MUNIN() *Network {
+	nw, err := Generate(MUNINConfig())
+	if err != nil {
+		panic(err) // config is a constant; cannot fail
+	}
+	return nw
+}
+
+// cfgIndex computes the CPT row of node i under the given joint state,
+// reporting the parent-state loads to the tracker.
+func (nw *Network) cfgIndex(i int32, state []int32, t mem.Tracker) int {
+	nd := &nw.Nodes[i]
+	idx := 0
+	for _, p := range nd.Parents {
+		if t != nil {
+			t.Load(nw.Nodes[p].stateAddr, 8)
+			t.Inst(3)
+		}
+		idx = idx*int(nw.Nodes[p].States) + int(state[p])
+	}
+	return idx
+}
+
+// CondProb returns P(node i = s | parents(i)) under state, with tracking.
+func (nw *Network) CondProb(i int32, s int32, state []int32, t mem.Tracker) float64 {
+	nd := &nw.Nodes[i]
+	row := nw.cfgIndex(i, state, t)
+	off := row*int(nd.States) + int(s)
+	if t != nil {
+		t.Load(nd.cptAddr+uint64(off)*8, 8)
+		t.Inst(2)
+	}
+	return nd.CPT[off]
+}
+
+// BlanketProb returns the unnormalized probability of node i taking state
+// s given its Markov blanket: its own CPT entry times each child's CPT
+// entry under the modified configuration.
+func (nw *Network) BlanketProb(i int32, s int32, state []int32, t mem.Tracker) float64 {
+	old := state[i]
+	state[i] = s
+	p := nw.CondProb(i, s, state, t)
+	for _, c := range nw.Nodes[i].Children {
+		p *= nw.CondProb(c, state[c], state, t)
+		if t != nil {
+			t.Inst(1)
+		}
+	}
+	state[i] = old
+	return p
+}
+
+// StateAddr returns the simulated slot of node i's sampled value.
+func (nw *Network) StateAddr(i int32) uint64 { return nw.Nodes[i].stateAddr }

@@ -1,0 +1,40 @@
+package cachesim
+
+import "testing"
+
+func BenchmarkAccessHit(b *testing.B) {
+	c := New(Config{SizeBytes: 32 << 10, LineBytes: 64, Ways: 8})
+	c.Access(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(4096)
+	}
+}
+
+func BenchmarkAccessStream(b *testing.B) {
+	c := New(Config{SizeBytes: 32 << 10, LineBytes: 64, Ways: 8})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i) * 64)
+	}
+}
+
+func BenchmarkAccessRandom(b *testing.B) {
+	c := New(Config{SizeBytes: 24 << 20, LineBytes: 64, Ways: 16})
+	x := uint64(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = x*6364136223846793005 + 1
+		c.Access(x >> 20)
+	}
+}
+
+func BenchmarkTLBAccess(b *testing.B) {
+	t := NewTLB(64, 4, 4096)
+	x := uint64(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = x*6364136223846793005 + 1
+		t.Access(x >> 30)
+	}
+}

@@ -1,0 +1,226 @@
+// Package concurrent provides the shared-memory parallel building blocks
+// used by the native (wall-clock) GraphBIG workloads: an atomic visited
+// bitmap, a level-synchronous frontier, static range partitioning, and
+// sharded counters. These are the Go equivalents of the OpenMP scaffolding
+// in the original C++ suite.
+package concurrent
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Bitmap is a fixed-size bitmap with atomic test-and-set semantics, used as
+// the visited set of parallel traversals.
+type Bitmap struct {
+	words []atomic.Uint64
+	n     int
+}
+
+// NewBitmap returns a bitmap of n bits, all clear.
+func NewBitmap(n int) *Bitmap {
+	return &Bitmap{words: make([]atomic.Uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of bits.
+func (b *Bitmap) Len() int { return b.n }
+
+// Test reports whether bit i is set.
+func (b *Bitmap) Test(i int) bool {
+	return b.words[i>>6].Load()&(1<<(uint(i)&63)) != 0
+}
+
+// TrySet atomically sets bit i and reports whether this call changed it
+// (i.e. returns false if the bit was already set).
+func (b *Bitmap) TrySet(i int) bool {
+	w := &b.words[i>>6]
+	mask := uint64(1) << (uint(i) & 63)
+	for {
+		old := w.Load()
+		if old&mask != 0 {
+			return false
+		}
+		if w.CompareAndSwap(old, old|mask) {
+			return true
+		}
+	}
+}
+
+// Set sets bit i unconditionally (non-atomic callers should not race Set
+// with Test on the same bit; TrySet is the racing-safe variant).
+func (b *Bitmap) Set(i int) {
+	w := &b.words[i>>6]
+	mask := uint64(1) << (uint(i) & 63)
+	for {
+		old := w.Load()
+		if old&mask != 0 || w.CompareAndSwap(old, old|mask) {
+			return
+		}
+	}
+}
+
+// Clear clears every bit.
+func (b *Bitmap) Clear() {
+	for i := range b.words {
+		b.words[i].Store(0)
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int {
+	c := 0
+	for i := range b.words {
+		c += popcount(b.words[i].Load())
+	}
+	return c
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Frontier is a concurrent append-only queue of int32 vertex indices used
+// for level-synchronous traversal. Writers call Push from many goroutines;
+// after a barrier, readers consume the Slice.
+type Frontier struct {
+	buf []int32
+	len atomic.Int64
+}
+
+// NewFrontier returns a frontier able to hold up to cap entries.
+func NewFrontier(capacity int) *Frontier {
+	return &Frontier{buf: make([]int32, capacity)}
+}
+
+// Push appends v. It panics if capacity is exceeded (callers size frontiers
+// by vertex count, which bounds every level).
+func (f *Frontier) Push(v int32) {
+	i := f.len.Add(1) - 1
+	f.buf[i] = v
+}
+
+// Slice returns the current contents. Callers must not Push concurrently
+// with Slice use.
+func (f *Frontier) Slice() []int32 { return f.buf[:f.len.Load()] }
+
+// Len returns the number of queued entries.
+func (f *Frontier) Len() int { return int(f.len.Load()) }
+
+// Reset empties the frontier, retaining capacity.
+func (f *Frontier) Reset() { f.len.Store(0) }
+
+// Workers resolves a worker-count request: n <= 0 selects GOMAXPROCS.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ParallelRange splits [0,n) into contiguous chunks, one per worker, and
+// runs body(start,end) concurrently. It returns once every chunk is done.
+// With workers <= 1 (or tiny n) it runs inline, which keeps instrumented
+// single-threaded runs deterministic.
+func ParallelRange(n, workers int, body func(start, end int)) {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			body(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		start := w * chunk
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		if start >= end {
+			break
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			body(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// ParallelItems runs body(i) for every i in [0,n) using a dynamic
+// work-stealing counter, which balances skewed per-item costs (e.g.
+// per-vertex work proportional to degree).
+func ParallelItems(n, workers int, grain int, body func(i int)) {
+	workers = Workers(workers)
+	if grain < 1 {
+		grain = 1
+	}
+	if workers <= 1 || n <= grain {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(next.Add(int64(grain))) - grain
+				if start >= n {
+					return
+				}
+				end := start + grain
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					body(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Counter is a cache-line padded sharded counter for high-contention adds.
+type Counter struct {
+	shards []paddedInt64
+}
+
+type paddedInt64 struct {
+	v atomic.Int64
+	_ [7]int64
+}
+
+// NewCounter returns a counter sharded across GOMAXPROCS slots.
+func NewCounter() *Counter {
+	return &Counter{shards: make([]paddedInt64, runtime.GOMAXPROCS(0))}
+}
+
+// Add adds delta using shard s (callers pass their worker index).
+func (c *Counter) Add(s int, delta int64) {
+	c.shards[s%len(c.shards)].v.Add(delta)
+}
+
+// Value returns the current total.
+func (c *Counter) Value() int64 {
+	var t int64
+	for i := range c.shards {
+		t += c.shards[i].v.Load()
+	}
+	return t
+}

@@ -1,0 +1,167 @@
+package concurrent
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitmapBasics(t *testing.T) {
+	b := NewBitmap(130)
+	if b.Len() != 130 {
+		t.Errorf("Len = %d", b.Len())
+	}
+	if b.Test(0) || b.Test(129) {
+		t.Error("fresh bitmap has set bits")
+	}
+	if !b.TrySet(129) {
+		t.Error("first TrySet must succeed")
+	}
+	if b.TrySet(129) {
+		t.Error("second TrySet must fail")
+	}
+	if !b.Test(129) {
+		t.Error("bit not set")
+	}
+	b.Set(5)
+	b.Set(5)
+	if b.Count() != 2 {
+		t.Errorf("Count = %d, want 2", b.Count())
+	}
+	b.Clear()
+	if b.Count() != 0 {
+		t.Error("Clear failed")
+	}
+}
+
+func TestBitmapTrySetExactlyOnce(t *testing.T) {
+	const n, workers = 4096, 8
+	b := NewBitmap(n)
+	var wins atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if b.TrySet(i) {
+					wins.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if wins.Load() != n {
+		t.Errorf("wins = %d, want %d (each bit claimed exactly once)", wins.Load(), n)
+	}
+	if b.Count() != n {
+		t.Errorf("Count = %d", b.Count())
+	}
+}
+
+func TestFrontierConcurrentPush(t *testing.T) {
+	const n = 10000
+	f := NewFrontier(n)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += 8 {
+				f.Push(int32(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if f.Len() != n {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	seen := make([]bool, n)
+	for _, v := range f.Slice() {
+		if seen[v] {
+			t.Fatalf("duplicate %d", v)
+		}
+		seen[v] = true
+	}
+	f.Reset()
+	if f.Len() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestParallelRangeCoversOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		for _, n := range []int{0, 1, 5, 100} {
+			hits := make([]atomic.Int32, n)
+			ParallelRange(n, workers, func(s, e int) {
+				for i := s; i < e; i++ {
+					hits[i].Add(1)
+				}
+			})
+			for i := range hits {
+				if hits[i].Load() != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, hits[i].Load())
+				}
+			}
+		}
+	}
+}
+
+func TestParallelItemsCoversOnce(t *testing.T) {
+	for _, workers := range []int{1, 4, 9} {
+		for _, grain := range []int{0, 1, 7, 1000} {
+			const n = 500
+			hits := make([]atomic.Int32, n)
+			ParallelItems(n, workers, grain, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if hits[i].Load() != 1 {
+					t.Fatalf("workers=%d grain=%d: index %d hit %d times", workers, grain, i, hits[i].Load())
+				}
+			}
+		}
+	}
+}
+
+func TestQuickParallelRangePartition(t *testing.T) {
+	f := func(n uint16, workers uint8) bool {
+		nn := int(n % 2000)
+		var sum atomic.Int64
+		ParallelRange(nn, int(workers%32), func(s, e int) {
+			for i := s; i < e; i++ {
+				sum.Add(int64(i))
+			}
+		})
+		return sum.Load() == int64(nn)*int64(nn-1)/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Add(w, 2)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != 16000 {
+		t.Errorf("Value = %d, want 16000", c.Value())
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(5) != 5 {
+		t.Error("explicit worker count not honored")
+	}
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Error("default workers must be >= 1")
+	}
+}

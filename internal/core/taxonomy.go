@@ -1,0 +1,94 @@
+// Package core is the GraphBIG suite itself: the taxonomy of computation
+// types (Table 1) and data sources (Table 2), the use-case analysis behind
+// workload selection (Figure 4), the workload registry (Table 4), and the
+// runner that dispatches a workload against a dataset in either native or
+// instrumented mode.
+package core
+
+// ComputationType classifies workloads by computation target (Table 1).
+type ComputationType int
+
+// The three computation types.
+const (
+	// CompStruct — computation on the graph structure: irregular access
+	// pattern, heavy read traffic (e.g. BFS traversal).
+	CompStruct ComputationType = iota
+	// CompProp — computation on graphs with rich properties: heavy
+	// numeric operations on property data (e.g. belief propagation).
+	CompProp
+	// CompDyn — computation on dynamic graphs: structural updates, high
+	// write intensity, dynamic memory footprint (e.g. streaming graphs).
+	CompDyn
+)
+
+// String names the type as abbreviated in the paper's figures.
+func (c ComputationType) String() string {
+	switch c {
+	case CompStruct:
+		return "CompStruct"
+	case CompProp:
+		return "CompProp"
+	case CompDyn:
+		return "CompDyn"
+	default:
+		return "unknown"
+	}
+}
+
+// TypeInfo describes one row of Table 1.
+type TypeInfo struct {
+	Type    ComputationType
+	Feature string
+	Example string
+}
+
+// ComputationTypes reproduces Table 1.
+var ComputationTypes = []TypeInfo{
+	{CompStruct, "Irregular access pattern, heavy read accesses", "BFS traversal"},
+	{CompProp, "Heavy numeric operations on properties", "Belief propagation"},
+	{CompDyn, "Dynamic graph, dynamic memory footprint", "Streaming graph"},
+}
+
+// SourceInfo describes one row of Table 2.
+type SourceInfo struct {
+	No      int
+	Source  string
+	Example string
+	Feature string
+}
+
+// DataSources reproduces Table 2.
+var DataSources = []SourceInfo{
+	{1, "Social(/economic/political) network", "Twitter graph", "Large connected components, small shortest path lengths"},
+	{2, "Information(/knowledge) network", "Knowledge graph", "Large vertex degrees, large small-hop neighbourhoods"},
+	{3, "Nature(/bio/cognitive) network", "Gene network", "Complex properties, structured topology"},
+	{4, "Man-made technology network", "Road network", "Regular topology, small vertex degrees"},
+}
+
+// UseCaseCategory is one slice of Figure 4(B): the distribution of the 21
+// analyzed System G use cases over six application domains.
+type UseCaseCategory struct {
+	Name    string
+	Percent int
+}
+
+// UseCaseCategories reconstructs Figure 4(B). Shares are as printed in the
+// figure (24/24/14/14/14/10).
+var UseCaseCategories = []UseCaseCategory{
+	{"Cognitive Computing", 24},
+	{"Exploration and Science", 24},
+	{"Data Warehouse Augmentation", 14},
+	{"Operations Analysis", 14},
+	{"Security", 14},
+	{"Data Exploration / 360-Degree View", 10},
+}
+
+// UseCaseCounts reconstructs Figure 4(A): how many of the 21 use cases
+// employ each selected workload. The paper prints the extremes (BFS is
+// used by 10 use cases, TC by 4); intermediate bars are read from the
+// figure to the nearest unit.
+var UseCaseCounts = map[string]int{
+	"BFS": 10, "DFS": 5, "GCons": 7, "GUp": 6, "TMorph": 5,
+	"SPath": 7, "kCore": 5, "CComp": 6, "GColor": 5, "TC": 4,
+	"Gibbs": 5, "DCentr": 8, "BCentr": 7,
+}

@@ -1,0 +1,138 @@
+package csr
+
+import (
+	"testing"
+
+	"github.com/graphbig/graphbig-go/internal/gen"
+	"github.com/graphbig/graphbig-go/internal/mem"
+	"github.com/graphbig/graphbig-go/internal/property"
+)
+
+func buildGraph(t *testing.T) (*property.Graph, *property.View) {
+	t.Helper()
+	g := property.New(property.Options{})
+	for i := property.VertexID(0); i < 5; i++ {
+		g.AddVertex(i)
+	}
+	for _, e := range [][2]property.VertexID{{0, 3}, {0, 1}, {1, 2}, {3, 4}} {
+		if err := g.AddEdge(e[0], e[1], float64(e[0]+e[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g, g.View()
+}
+
+func TestFromPropertyStructure(t *testing.T) {
+	g, vw := buildGraph(t)
+	c := FromProperty(g, vw)
+	if c.N != 5 {
+		t.Fatalf("N = %d", c.N)
+	}
+	// Undirected: each logical edge appears twice.
+	if c.NumEdges() != 8 {
+		t.Fatalf("edges = %d, want 8", c.NumEdges())
+	}
+	// Vertex 0 has neighbors 1 and 3, sorted.
+	n0 := c.Neigh(0)
+	if len(n0) != 2 || n0[0] != 1 || n0[1] != 3 {
+		t.Errorf("Neigh(0) = %v, want [1 3] sorted", n0)
+	}
+	if c.Degree(0) != 2 || c.Degree(2) != 1 {
+		t.Errorf("degrees wrong: %d, %d", c.Degree(0), c.Degree(2))
+	}
+	// Weights co-sorted with columns: 0-1 weight 1, 0-3 weight 3.
+	w0 := c.Weights(0)
+	if w0[0] != 1 || w0[1] != 3 {
+		t.Errorf("Weights(0) = %v", w0)
+	}
+	// IDs map back.
+	for i := 0; i < c.N; i++ {
+		if c.IDs[i] != vw.Verts[i].ID {
+			t.Errorf("IDs[%d] = %d", i, c.IDs[i])
+		}
+	}
+}
+
+func TestRowsSorted(t *testing.T) {
+	g := gen.LDBC(500, 3, 0)
+	vw := g.View()
+	c := FromProperty(g, vw)
+	for i := int32(0); i < int32(c.N); i++ {
+		row := c.Neigh(i)
+		for k := 1; k < len(row); k++ {
+			if row[k-1] > row[k] {
+				t.Fatalf("row %d not sorted at %d", i, k)
+			}
+		}
+	}
+}
+
+func TestSkipsDeletedDestinations(t *testing.T) {
+	g, _ := buildGraph(t)
+	// Delete vertex 4 after the edges exist, then view + convert.
+	if _, err := g.DeleteVertex(4); err != nil {
+		t.Fatal(err)
+	}
+	vw := g.View()
+	c := FromProperty(g, vw)
+	if c.N != 4 {
+		t.Fatalf("N = %d, want 4", c.N)
+	}
+	for k := range c.Col {
+		if c.Col[k] < 0 || int(c.Col[k]) >= c.N {
+			t.Errorf("dangling column %d", c.Col[k])
+		}
+	}
+}
+
+func TestToCOO(t *testing.T) {
+	g, vw := buildGraph(t)
+	c := FromProperty(g, vw)
+	coo := c.ToCOO()
+	if len(coo.Src) != c.NumEdges() {
+		t.Fatalf("COO size = %d", len(coo.Src))
+	}
+	for k := range coo.Src {
+		found := false
+		for _, nb := range c.Neigh(coo.Src[k]) {
+			if nb == coo.Dst[k] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("COO edge %d->%d not in CSR", coo.Src[k], coo.Dst[k])
+		}
+	}
+}
+
+func TestAddressesDisjointAndOrdered(t *testing.T) {
+	g, vw := buildGraph(t)
+	c := FromProperty(g, vw)
+	if c.RowAddr(1) != c.RowAddr(0)+8 {
+		t.Error("RowPtr addresses not contiguous")
+	}
+	if c.ColAddr(1) != c.ColAddr(0)+4 {
+		t.Error("Col addresses not contiguous")
+	}
+	if c.WAddr(1) != c.WAddr(0)+8 {
+		t.Error("W addresses not contiguous")
+	}
+}
+
+func TestTraverseInstrumented(t *testing.T) {
+	g, vw := buildGraph(t)
+	c := FromProperty(g, vw)
+	ct := mem.NewCounting()
+	sum := c.TraverseInstrumented(ct)
+	var want uint64
+	for _, col := range c.Col {
+		want += uint64(col)
+	}
+	if sum != want {
+		t.Errorf("traverse sum = %d, want %d", sum, want)
+	}
+	if ct.Loads[mem.ClassUser] == 0 {
+		t.Error("instrumented traversal reported no loads")
+	}
+}

@@ -1,0 +1,47 @@
+package gen
+
+import (
+	"math/rand/v2"
+
+	"github.com/graphbig/graphbig-go/internal/property"
+)
+
+// DAG generates a layered directed acyclic graph, the input class of the
+// TMorph workload (topology morphing of a DAG into an undirected moral
+// graph) and the structural skeleton of Bayesian networks. Every edge goes
+// from a lower-numbered layer to a higher one, so vertex order is already
+// a topological order. In-edges are tracked: moralization and vertex
+// deletion both need parent lists.
+func DAG(v int, seed int64, workers int) *property.Graph {
+	if v < 8 {
+		v = 8
+	}
+	const layerSize = 32
+	edges := perVertexEdges(v, seed, workers, 6, func(r *rand.Rand, u int32, out []uint64) []uint64 {
+		layer := int(u) / layerSize
+		if layer == 0 {
+			return out
+		}
+		// 1..3 parents drawn from up to two preceding layers.
+		nPar := 1 + r.IntN(3)
+		for k := 0; k < nPar; k++ {
+			back := 1 + r.IntN(2)
+			pl := layer - back
+			if pl < 0 {
+				pl = 0
+			}
+			base := pl * layerSize
+			span := layerSize
+			if base+span > int(u) {
+				span = int(u) - base
+			}
+			if span <= 0 {
+				continue
+			}
+			p := int32(base + r.IntN(span))
+			out = append(out, pack(p, u)) // parent -> child
+		}
+		return out
+	})
+	return Build(v, edges, BuildOpts{Directed: true, TrackIn: true, Workers: workers})
+}

@@ -1,0 +1,51 @@
+package gen
+
+import (
+	"math/rand/v2"
+
+	"github.com/graphbig/graphbig-go/internal/property"
+)
+
+// RMAT generates a Kronecker-style recursive-matrix graph with the
+// Graph500 parameters (a=0.57, b=0.19, c=0.19, d=0.05). It is not one of
+// the five paper datasets but is the de-facto synthetic input of the prior
+// benchmarks GraphBIG compares against (Table 3), so it is provided for
+// cross-suite experiments.
+//
+// scale is log2 of the vertex count; edgeFactor is edges per vertex
+// (Graph500 uses 16).
+func RMAT(scale, edgeFactor int, seed int64, workers int) *property.Graph {
+	if scale < 3 {
+		scale = 3
+	}
+	if edgeFactor < 1 {
+		edgeFactor = 16
+	}
+	n := 1 << scale
+	const a, b, c = 0.57, 0.19, 0.19
+	// Generate edges in per-source-slot streams for determinism.
+	edges := perVertexEdges(n, seed, workers, edgeFactor*2, func(r *rand.Rand, u int32, out []uint64) []uint64 {
+		// Each slot emits edgeFactor edges of the global stream.
+		for k := 0; k < edgeFactor; k++ {
+			src, dst := 0, 0
+			for bit := 1 << (scale - 1); bit > 0; bit >>= 1 {
+				x := r.Float64()
+				switch {
+				case x < a: // top-left
+				case x < a+b:
+					dst |= bit
+				case x < a+b+c:
+					src |= bit
+				default:
+					src |= bit
+					dst |= bit
+				}
+			}
+			if src != dst {
+				out = append(out, packUndirected(int32(src), int32(dst)))
+			}
+		}
+		return out
+	})
+	return Build(n, edges, BuildOpts{Workers: workers})
+}

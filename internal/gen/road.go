@@ -1,0 +1,45 @@
+package gen
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"github.com/graphbig/graphbig-go/internal/property"
+)
+
+// Road generates the CA-road-network stand-in (man-made technology
+// network, data source type 4): a perturbed planar lattice with degree at
+// most 4-ish, regular topology and large diameter. Intersections are grid
+// points; a fraction of segments is removed (terrain), and rare diagonal
+// shortcuts model highways.
+//
+// The paper's graph is 1.9M vertices / 2.8M edges (avg logical degree 1.47
+// per vertex, i.e. ~2.9 neighbors counting both directions).
+func Road(v int, seed int64, workers int) *property.Graph {
+	if v < 16 {
+		v = 16
+	}
+	w := int(math.Sqrt(float64(v)))
+	if w < 4 {
+		w = 4
+	}
+	h := v / w
+	n := w * h
+	edges := perVertexEdges(n, seed, workers, 4, func(r *rand.Rand, u int32, out []uint64) []uint64 {
+		x, y := int(u)%w, int(u)/w
+		// Right and down lattice segments, each present with p=0.74,
+		// calibrated to the paper's edge/vertex ratio of ~1.47.
+		if x+1 < w && r.Float64() < 0.74 {
+			out = append(out, packUndirected(u, u+1))
+		}
+		if y+1 < h && r.Float64() < 0.74 {
+			out = append(out, packUndirected(u, u+int32(w)))
+		}
+		// Occasional shortcut ramp two cells away.
+		if x+2 < w && y+1 < h && r.Float64() < 0.01 {
+			out = append(out, packUndirected(u, u+int32(w)+2))
+		}
+		return out
+	})
+	return Build(n, edges, BuildOpts{Workers: workers})
+}

@@ -1,0 +1,97 @@
+package gen
+
+import (
+	"math/rand/v2"
+
+	"github.com/graphbig/graphbig-go/internal/property"
+)
+
+// LDBC generates the synthetic social graph standing in for the LDBC S3G2
+// generator (paper §4.3). Its signature, per the paper's Figure 13
+// discussion, is an unbalanced degree distribution that "involves more
+// vertices" than Twitter's few extreme hubs: a heavy mid-tail produced by
+// community structure plus rank-biased global attachment.
+//
+// v is the vertex count; the paper's experiment scale is 1M vertices with
+// 28.8M edges (avg degree ≈ 57 counting both directions).
+func LDBC(v int, seed int64, workers int) *property.Graph {
+	if v < 8 {
+		v = 8
+	}
+	commSize := 40 // average community size, facebook-like circles
+	nComm := v/commSize + 1
+	edges := perVertexEdges(v, seed, workers, 32, func(r *rand.Rand, u int32, out []uint64) []uint64 {
+		deg := powerlaw(r, 10, v/50+16, 2.5) // mean ≈ 30 logical edges
+		comm := int(u) / commSize
+		for k := 0; k < deg; k++ {
+			var t int32
+			if r.Float64() < 0.55 {
+				// Intra-community: uniform member of u's community.
+				base := comm * commSize
+				span := commSize
+				if base+span > v {
+					span = v - base
+				}
+				t = int32(base + r.IntN(span))
+			} else if r.Float64() < 0.5 {
+				// Rank-biased global friend-of-friend attachment: low
+				// community ranks are denser, spreading high degree over
+				// many vertices (the LDBC mid-tail).
+				c := int(zipfRank(r, nComm, 0.6))
+				base := c * commSize
+				span := commSize
+				if base+span > v {
+					span = v - base
+				}
+				if span <= 0 {
+					continue
+				}
+				t = int32(base + r.IntN(span))
+			} else {
+				t = int32(r.IntN(v))
+			}
+			if t == u {
+				continue
+			}
+			out = append(out, packUndirected(u, t))
+		}
+		return out
+	})
+	return Build(v, edges, BuildOpts{Workers: workers})
+}
+
+// Twitter generates the sampled-Twitter stand-in (social network, data
+// source type 1): a power-law graph whose distinguishing feature — again
+// per the paper's Figure 13 discussion — is "a few vertices with extremely
+// higher degree" (celebrity hubs), unlike LDBC's broader imbalance.
+//
+// The paper's sampled experiment graph is 11M vertices / 85M edges
+// (avg logical degree ≈ 7.7).
+func Twitter(v int, seed int64, workers int) *property.Graph {
+	if v < 8 {
+		v = 8
+	}
+	nHubs := v / 2000
+	if nHubs < 2 {
+		nHubs = 2
+	}
+	edges := perVertexEdges(v, seed, workers, 12, func(r *rand.Rand, u int32, out []uint64) []uint64 {
+		deg := powerlaw(r, 2, v/20+8, 2.4) // mean ≈ 5.4 from the tail side
+		for k := 0; k < deg; k++ {
+			var t int32
+			if r.Float64() < 0.45 {
+				// Follow a celebrity: hubs are vertices 0..nHubs-1, with a
+				// steep rank bias so the top hubs reach extreme in-degree.
+				t = zipfRank(r, nHubs, 0.85)
+			} else {
+				t = int32(r.IntN(v))
+			}
+			if t == u {
+				continue
+			}
+			out = append(out, packUndirected(u, t))
+		}
+		return out
+	})
+	return Build(v, edges, BuildOpts{Workers: workers})
+}

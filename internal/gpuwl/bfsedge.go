@@ -1,0 +1,60 @@
+package gpuwl
+
+import (
+	"github.com/graphbig/graphbig-go/internal/csr"
+	"github.com/graphbig/graphbig-go/internal/simt"
+)
+
+// BFSEdge is the edge-centric counterpart of BFS: every round one thread
+// per edge tests whether its source sits on the frontier and relaxes its
+// destination. It does strictly more total work than the thread-centric
+// kernel (every edge is visited every round) but each thread's work is
+// constant, collapsing branch divergence — the kernel-model ablation of
+// DESIGN.md compares the two on the same input.
+//
+// BFSEdge is not part of the paper's 8-workload GPU suite; it exists for
+// the thread-centric-vs-edge-centric design study (paper §5.3 discussion).
+func BFSEdge(d *simt.Device, g *csr.Graph) Result {
+	n := g.N
+	if n == 0 {
+		return Result{Name: "BFSEdge"}
+	}
+	coo := g.ToCOO()
+	e := len(coo.Src)
+	lvl := make([]int32, n)
+	for i := range lvl {
+		lvl[i] = -1
+	}
+	lvl[0] = 0
+	srcAddr := d.Alloc(e, 4)
+	dstAddr := d.Alloc(e, 4)
+	lvlAddr := d.Alloc(n, 4)
+	reached := 1
+	iters := 0
+	for cur := int32(0); ; cur++ {
+		changed := false
+		d.Launch(e, func(tid int32, ln *simt.Lane) {
+			ln.Ld(srcAddr+uint64(tid)*4, 4)
+			ln.Ld(dstAddr+uint64(tid)*4, 4)
+			u, v := coo.Src[tid], coo.Dst[tid]
+			ln.Ld(lvlAddr+uint64(u)*4, 4)
+			ln.Op(2)
+			if lvl[u] != cur {
+				return
+			}
+			ln.Ld(lvlAddr+uint64(v)*4, 4)
+			ln.Op(1)
+			if lvl[v] < 0 {
+				lvl[v] = cur + 1
+				ln.St(lvlAddr+uint64(v)*4, 4)
+				reached++
+				changed = true
+			}
+		})
+		iters++
+		if !changed {
+			break
+		}
+	}
+	return Result{Name: "BFSEdge", Stats: d.Stats(), Value: float64(reached), Iterations: iters}
+}

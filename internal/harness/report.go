@@ -1,0 +1,159 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strings"
+)
+
+// Report is the rendered outcome of one experiment.
+type Report struct {
+	ID      string // e.g. "fig05"
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (r *Report) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// String renders an aligned text table.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Headers))
+	for i, h := range r.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Headers)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the report as a GitHub table section.
+func (r Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", strings.ToUpper(r.ID[:1])+r.ID[1:], r.Title)
+	b.WriteString("| " + strings.Join(r.Headers, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(r.Headers)) + "\n")
+	for _, row := range r.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// CSV renders the report as RFC-4180 rows (headers first); the ID and
+// title travel in a leading comment row.
+func (r Report) CSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write([]string{"# " + r.ID, r.Title})
+	_ = w.Write(r.Headers)
+	for _, row := range r.Rows {
+		_ = w.Write(row)
+	}
+	w.Flush()
+	return b.String()
+}
+
+func f2(x float64) string  { return fmt.Sprintf("%.2f", x) }
+func f3(x float64) string  { return fmt.Sprintf("%.3f", x) }
+func pc1(x float64) string { return fmt.Sprintf("%.1f%%", x*100) }
+
+// Chart renders one numeric column of the report as a horizontal ASCII
+// bar chart — a terminal-readable stand-in for the paper's figures.
+// Column values may carry %, x, or unit suffixes; non-numeric rows are
+// skipped. Returns "" if fewer than two rows parse.
+func (r Report) Chart(col int) string {
+	type bar struct {
+		label string
+		val   float64
+		raw   string
+	}
+	var bars []bar
+	maxVal := 0.0
+	labelW := 0
+	for _, row := range r.Rows {
+		if col >= len(row) || len(row) == 0 {
+			continue
+		}
+		v, ok := parseNumeric(row[col])
+		if !ok {
+			continue
+		}
+		label := row[0]
+		if len(row) > 2 && !looksNumeric(row[1]) {
+			label += "/" + row[1] // workload/dataset style rows
+		}
+		bars = append(bars, bar{label: label, val: v, raw: row[col]})
+		if v > maxVal {
+			maxVal = v
+		}
+		if len(label) > labelW {
+			labelW = len(label)
+		}
+	}
+	if len(bars) < 2 || maxVal <= 0 {
+		return ""
+	}
+	const width = 48
+	var b strings.Builder
+	header := r.Headers[0]
+	if col < len(r.Headers) {
+		fmt.Fprintf(&b, "%s by %s:\n", r.Headers[col], header)
+	}
+	for _, bar := range bars {
+		n := int(bar.val / maxVal * width)
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "%-*s |%-*s %s\n", labelW, bar.label, width, strings.Repeat("#", n), bar.raw)
+	}
+	return b.String()
+}
+
+// parseNumeric extracts a float from a cell like "48.77", "12.4%", "3.2x".
+func parseNumeric(s string) (float64, bool) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimSuffix(s, "%")
+	s = strings.TrimSuffix(s, "x")
+	if s == "" {
+		return 0, false
+	}
+	var v float64
+	if _, err := fmt.Sscanf(s, "%g", &v); err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+func looksNumeric(s string) bool {
+	_, ok := parseNumeric(s)
+	return ok
+}

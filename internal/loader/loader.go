@@ -1,0 +1,142 @@
+// Package loader serializes property graphs to a plain-text edge-list
+// format so datasets can be generated once (cmd/graphbig-gen) and reused
+// across tool invocations, mirroring how the original suite ships its
+// datasets as files.
+//
+// Format ("graphbig edge-list v1"):
+//
+//	# graphbig v1 directed=<bool>
+//	v <id>
+//	e <src> <dst> <weight>
+//
+// Vertex lines precede edge lines. Undirected graphs store each edge once.
+package loader
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/graphbig/graphbig-go/internal/property"
+)
+
+// Write streams g to w in edge-list format.
+func Write(w io.Writer, g *property.Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "# graphbig v1 directed=%v\n", g.Directed()); err != nil {
+		return err
+	}
+	var err error
+	g.ForEachVertex(func(v *property.Vertex) {
+		if err != nil {
+			return
+		}
+		_, err = fmt.Fprintf(bw, "v %d\n", v.ID)
+	})
+	if err != nil {
+		return err
+	}
+	g.ForEachVertex(func(v *property.Vertex) {
+		if err != nil {
+			return
+		}
+		for _, e := range v.Out {
+			if !g.Directed() && e.To < v.ID {
+				continue // mirrored record; the canonical copy suffices
+			}
+			if _, err = fmt.Fprintf(bw, "e %d %d %g\n", v.ID, e.To, e.Weight); err != nil {
+				return
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Read parses an edge-list stream into a new property graph.
+func Read(r io.Reader) (*property.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("loader: empty input")
+	}
+	head := sc.Text()
+	if !strings.HasPrefix(head, "# graphbig v1") {
+		return nil, fmt.Errorf("loader: bad header %q", head)
+	}
+	directed := strings.Contains(head, "directed=true")
+	g := property.New(property.Options{Directed: directed, TrackInEdges: directed})
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "v":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("loader: line %d: bad vertex line", lineNo)
+			}
+			id, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("loader: line %d: %w", lineNo, err)
+			}
+			g.AddVertex(property.VertexID(id))
+		case "e":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("loader: line %d: bad edge line", lineNo)
+			}
+			src, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("loader: line %d: %w", lineNo, err)
+			}
+			dst, err := strconv.ParseUint(fields[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("loader: line %d: %w", lineNo, err)
+			}
+			w, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("loader: line %d: %w", lineNo, err)
+			}
+			if err := g.AddEdge(property.VertexID(src), property.VertexID(dst), w); err != nil {
+				return nil, fmt.Errorf("loader: line %d: %w", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("loader: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Save writes g to path.
+func Save(path string, g *property.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a graph from path.
+func Load(path string) (*property.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,99 @@
+package loader
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/graphbig/graphbig-go/internal/gen"
+	"github.com/graphbig/graphbig-go/internal/property"
+)
+
+func TestRoundTripUndirected(t *testing.T) {
+	g := gen.LDBC(300, 4, 0)
+	path := filepath.Join(t.TempDir(), "g.el")
+	if err := Save(path, g); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VertexCount() != g.VertexCount() || r.EdgeCount() != g.EdgeCount() {
+		t.Fatalf("roundtrip counts %d/%d vs %d/%d",
+			r.VertexCount(), r.EdgeCount(), g.VertexCount(), g.EdgeCount())
+	}
+	g.ForEachVertex(func(v *property.Vertex) {
+		rv := r.FindVertex(v.ID)
+		if rv == nil || rv.OutDegree() != v.OutDegree() {
+			t.Fatalf("vertex %d degree mismatch", v.ID)
+		}
+	})
+	// Weights survive.
+	var anyV property.VertexID
+	var anyE property.Edge
+	g.ForEachVertex(func(v *property.Vertex) {
+		if len(v.Out) > 0 && anyE.To == 0 && anyE.Weight == 0 {
+			anyV, anyE = v.ID, v.Out[0]
+		}
+	})
+	re := r.FindEdge(anyV, anyE.To)
+	if re == nil || re.Weight != anyE.Weight {
+		t.Errorf("weight lost on %d->%d", anyV, anyE.To)
+	}
+}
+
+func TestRoundTripDirected(t *testing.T) {
+	g := gen.DAG(200, 6, 0)
+	path := filepath.Join(t.TempDir(), "dag.el")
+	if err := Save(path, g); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Directed() {
+		t.Fatal("directedness lost")
+	}
+	if r.EdgeCount() != g.EdgeCount() {
+		t.Fatalf("edges %d vs %d", r.EdgeCount(), g.EdgeCount())
+	}
+	// In-edges rebuilt on load.
+	in := 0
+	r.ForEachVertex(func(v *property.Vertex) { in += v.InDegree() })
+	if in != r.EdgeCount() {
+		t.Errorf("in-records = %d, want %d", in, r.EdgeCount())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad header":   "hello\n",
+		"bad vertex":   "# graphbig v1 directed=false\nv\n",
+		"bad edge":     "# graphbig v1 directed=false\nv 1\ne 1\n",
+		"bad number":   "# graphbig v1 directed=false\nv x\n",
+		"unknown rec":  "# graphbig v1 directed=false\nq 1\n",
+		"missing vert": "# graphbig v1 directed=false\nv 1\ne 1 2 1\n",
+	}
+	for name, input := range cases {
+		if _, err := Read(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# graphbig v1 directed=false\n\n# comment\nv 1\nv 2\ne 1 2 2.5\n"
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.VertexCount() != 2 || g.EdgeCount() != 1 {
+		t.Errorf("counts %d/%d", g.VertexCount(), g.EdgeCount())
+	}
+	if e := g.FindEdge(1, 2); e == nil || e.Weight != 2.5 {
+		t.Errorf("edge = %+v", e)
+	}
+}

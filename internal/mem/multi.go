@@ -1,0 +1,61 @@
+package mem
+
+// Multi fans one event stream out to several trackers, letting a single
+// instrumented run be costed on multiple machine models at once (e.g. the
+// host CPU model and the NDP model of the ext01 experiment).
+type Multi struct {
+	ts []Tracker
+}
+
+// NewMulti returns a tracker forwarding to every non-nil t.
+func NewMulti(ts ...Tracker) *Multi {
+	m := &Multi{}
+	for _, t := range ts {
+		if t != nil {
+			m.ts = append(m.ts, t)
+		}
+	}
+	return m
+}
+
+// Load implements Tracker.
+func (m *Multi) Load(addr uint64, size uint32) {
+	for _, t := range m.ts {
+		t.Load(addr, size)
+	}
+}
+
+// Store implements Tracker.
+func (m *Multi) Store(addr uint64, size uint32) {
+	for _, t := range m.ts {
+		t.Store(addr, size)
+	}
+}
+
+// Inst implements Tracker.
+func (m *Multi) Inst(n uint64) {
+	for _, t := range m.ts {
+		t.Inst(n)
+	}
+}
+
+// Branch implements Tracker.
+func (m *Multi) Branch(site uint32, taken bool) {
+	for _, t := range m.ts {
+		t.Branch(site, taken)
+	}
+}
+
+// Enter implements Tracker.
+func (m *Multi) Enter(c Class) {
+	for _, t := range m.ts {
+		t.Enter(c)
+	}
+}
+
+// Exit implements Tracker.
+func (m *Multi) Exit() {
+	for _, t := range m.ts {
+		t.Exit()
+	}
+}

@@ -1,0 +1,22 @@
+package mem
+
+import "testing"
+
+func TestMultiFansOut(t *testing.T) {
+	a, b := NewCounting(), NewCounting()
+	m := NewMulti(a, nil, b)
+	m.Enter(ClassFramework)
+	m.Load(64, 8)
+	m.Store(128, 8)
+	m.Inst(3)
+	m.Branch(1, true)
+	m.Exit()
+	for i, c := range []*Counting{a, b} {
+		if c.Insts[ClassFramework] != 6 {
+			t.Errorf("tracker %d framework insts = %d, want 6", i, c.Insts[ClassFramework])
+		}
+		if c.Loads[ClassFramework] != 1 || c.Stores[ClassFramework] != 1 {
+			t.Errorf("tracker %d memory ops wrong", i)
+		}
+	}
+}

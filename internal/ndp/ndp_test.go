@@ -1,0 +1,68 @@
+package ndp
+
+import (
+	"testing"
+
+	"github.com/graphbig/graphbig-go/internal/mem"
+)
+
+func TestNDPBeatsHostLatencyOnRandomAccess(t *testing.T) {
+	p := NewProfile(DefaultConfig())
+	x := uint64(9)
+	for i := 0; i < 50000; i++ {
+		x = x*6364136223846793005 + 1
+		p.Load(1<<20+(x>>16)%(128<<20), 8)
+		p.Inst(2)
+	}
+	m := p.Report()
+	if m.Cycles == 0 || m.Insts == 0 {
+		t.Fatal("empty report")
+	}
+	// Random access over 128MB: almost everything misses the 32KB cache
+	// but stays vault-local (one 256MB vault), so the per-miss cost is
+	// VaultLatency/MLP = 16 host-side would be ~90.
+	if m.CacheHit > 0.3 {
+		t.Errorf("cache hit = %v, want thrashing", m.CacheHit)
+	}
+	if m.RemoteMiss > m.LocalMiss {
+		t.Errorf("remote misses %d exceed local %d within one vault", m.RemoteMiss, m.LocalMiss)
+	}
+}
+
+func TestVaultCrossing(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.VaultBytes = 1 << 20
+	p := NewProfile(cfg)
+	// Alternate between two vaults: every miss hops.
+	for i := 0; i < 100; i++ {
+		p.Load(uint64(i%2)*(1<<20)+uint64(i)*64, 8)
+	}
+	m := p.Report()
+	if m.RemoteMiss < m.LocalMiss {
+		t.Errorf("vault ping-pong should be remote-dominated: %d local %d remote",
+			m.LocalMiss, m.RemoteMiss)
+	}
+}
+
+func TestHostCyclesScaled(t *testing.T) {
+	p := NewProfile(DefaultConfig())
+	p.Inst(2400)
+	m := p.Report()
+	if m.HostCycles <= m.Cycles {
+		t.Errorf("host cycles %d should exceed NDP cycles %d (slower clock)",
+			m.HostCycles, m.Cycles)
+	}
+}
+
+func TestTrackerInterface(t *testing.T) {
+	var tr mem.Tracker = NewProfile(DefaultConfig())
+	tr.Enter(mem.ClassFramework)
+	tr.Load(4096, 8)
+	tr.Store(4096, 8)
+	tr.Branch(1, true)
+	tr.Exit()
+	m := tr.(*Profile).Report()
+	if m.Insts != 3 {
+		t.Errorf("insts = %d, want 3", m.Insts)
+	}
+}

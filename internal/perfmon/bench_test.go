@@ -1,0 +1,29 @@
+package perfmon
+
+import "testing"
+
+func BenchmarkProfileLoadStream(b *testing.B) {
+	p := NewProfile(DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Load(1<<20+uint64(i)*8, 8)
+	}
+}
+
+func BenchmarkProfileLoadRandom(b *testing.B) {
+	p := NewProfile(DefaultConfig())
+	x := uint64(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = x*6364136223846793005 + 1
+		p.Load(1<<20+(x>>16)%(512<<20), 8)
+	}
+}
+
+func BenchmarkProfileBranch(b *testing.B) {
+	p := NewProfile(DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Branch(uint32(i%7), i%3 == 0)
+	}
+}

@@ -1,0 +1,59 @@
+package perfmon
+
+// gshare is the classic global-history XOR-indexed two-bit-counter branch
+// predictor. Branch "PCs" are the stable site identifiers workloads and
+// framework primitives pass to Tracker.Branch.
+type gshare struct {
+	table    []uint8 // two-bit saturating counters
+	mask     uint32
+	history  uint32
+	histMask uint32
+
+	branches uint64
+	misses   uint64
+}
+
+func newGshare(tableBits, historyBits int) *gshare {
+	return &gshare{
+		table:    make([]uint8, 1<<tableBits),
+		mask:     uint32(1<<tableBits - 1),
+		histMask: uint32(1<<historyBits - 1),
+	}
+}
+
+// predict consumes one branch outcome, returning whether the prediction
+// was correct, and updates predictor state.
+func (g *gshare) predict(site uint32, taken bool) bool {
+	idx := (site*2654435761 ^ g.history) & g.mask
+	ctr := g.table[idx]
+	pred := ctr >= 2
+	correct := pred == taken
+	g.branches++
+	if !correct {
+		g.misses++
+	}
+	if taken {
+		if ctr < 3 {
+			g.table[idx] = ctr + 1
+		}
+	} else if ctr > 0 {
+		g.table[idx] = ctr - 1
+	}
+	g.history = ((g.history << 1) | b2u(taken)) & g.histMask
+	return correct
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// missRate returns mispredicted/executed branches.
+func (g *gshare) missRate() float64 {
+	if g.branches == 0 {
+		return 0
+	}
+	return float64(g.misses) / float64(g.branches)
+}

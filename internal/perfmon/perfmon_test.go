@@ -1,0 +1,168 @@
+package perfmon
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/graphbig/graphbig-go/internal/mem"
+)
+
+func TestGsharePredictsLoops(t *testing.T) {
+	g := newGshare(14, 12)
+	// An always-taken loop branch becomes perfectly predicted.
+	for i := 0; i < 1000; i++ {
+		g.predict(7, true)
+	}
+	if g.missRate() > 0.02 {
+		t.Errorf("loop branch miss rate = %v", g.missRate())
+	}
+}
+
+func TestGshareRandomIsHard(t *testing.T) {
+	g := newGshare(14, 12)
+	x := uint64(88172645463325252)
+	for i := 0; i < 20000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		g.predict(3, x&1 == 0)
+	}
+	if g.missRate() < 0.3 {
+		t.Errorf("random branch miss rate = %v, want >= 0.3", g.missRate())
+	}
+}
+
+func TestSequentialScanIsCacheFriendly(t *testing.T) {
+	p := NewProfile(DefaultConfig())
+	for i := uint64(0); i < 100000; i++ {
+		p.Load(1<<20+i*8, 8)
+		p.Inst(4)
+	}
+	m := p.Report()
+	// 8B stride: one miss per 8 accesses at most, and it never misses L3
+	// beyond the footprint (800KB < 24MB) — MPKI should be small.
+	if m.L1DMPKI > 30 {
+		t.Errorf("sequential L1D MPKI = %v", m.L1DMPKI)
+	}
+	if m.L3MPKI > 30 {
+		t.Errorf("sequential L3 MPKI = %v", m.L3MPKI)
+	}
+	if m.IPC <= 0 {
+		t.Error("IPC must be positive")
+	}
+}
+
+func TestRandomScanThrashes(t *testing.T) {
+	p := NewProfile(DefaultConfig())
+	x := uint64(12345)
+	const span = 256 << 20 // far beyond L3
+	for i := 0; i < 100000; i++ {
+		x = x*6364136223846793005 + 1
+		p.Load(1<<20+(x>>13)%span, 8)
+		p.Inst(2)
+	}
+	m := p.Report()
+	if m.L3MPKI < 100 {
+		t.Errorf("random-scan L3 MPKI = %v, want high", m.L3MPKI)
+	}
+	if m.DTLBPenaltyPC < 5 {
+		t.Errorf("random-scan DTLB penalty = %v%%, want noticeable", m.DTLBPenaltyPC)
+	}
+	if m.Backend < 0.5 {
+		t.Errorf("random scan backend share = %v, want dominant", m.Backend)
+	}
+}
+
+func TestBreakdownSumsToOne(t *testing.T) {
+	p := NewProfile(DefaultConfig())
+	x := uint64(7)
+	for i := 0; i < 50000; i++ {
+		x = x*2862933555777941757 + 3037000493
+		p.Load(1<<20+(x>>20)%(64<<20), 8)
+		p.Inst(3)
+		p.Branch(uint32(i%5), x&3 == 0)
+	}
+	m := p.Report()
+	sum := m.Frontend + m.BadSpec + m.Retiring + m.Backend
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("breakdown sums to %v", sum)
+	}
+	for _, v := range []float64{m.Frontend, m.BadSpec, m.Retiring, m.Backend} {
+		if v < 0 || v > 1 {
+			t.Errorf("breakdown component out of range: %v", v)
+		}
+	}
+}
+
+func TestClassAttribution(t *testing.T) {
+	p := NewProfile(DefaultConfig())
+	p.Enter(mem.ClassFramework)
+	p.Inst(100)
+	p.Exit()
+	p.Inst(50)
+	if share := p.FrameworkShare(); math.Abs(share-100.0/150) > 1e-9 {
+		t.Errorf("framework share = %v", share)
+	}
+}
+
+func TestICacheStaysLowForHotLoops(t *testing.T) {
+	p := NewProfile(DefaultConfig())
+	for i := 0; i < 200000; i++ {
+		p.Inst(4)
+		p.Branch(1, i%8 != 0) // hot loop with occasional exit
+	}
+	m := p.Report()
+	if m.ICacheMPKI > 1.5 {
+		t.Errorf("hot-loop ICache MPKI = %v, want small", m.ICacheMPKI)
+	}
+}
+
+func TestEmptyProfileReport(t *testing.T) {
+	m := NewProfile(DefaultConfig()).Report()
+	if m.Insts != 0 || m.IPC != 0 {
+		t.Errorf("empty profile: %+v", m)
+	}
+}
+
+func TestQuickMetricsSane(t *testing.T) {
+	f := func(ops []uint16) bool {
+		p := NewProfile(DefaultConfig())
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				p.Load(1<<20+uint64(op)*64, 8)
+			case 1:
+				p.Store(1<<20+uint64(op)*128, 8)
+			case 2:
+				p.Inst(uint64(op%7) + 1)
+			case 3:
+				p.Branch(uint32(op%9), op%3 == 0)
+			}
+		}
+		m := p.Report()
+		if len(ops) == 0 {
+			return true
+		}
+		return m.L1DHit >= 0 && m.L1DHit <= 1 &&
+			m.BranchMiss >= 0 && m.BranchMiss <= 1 &&
+			m.Frontend+m.BadSpec+m.Retiring+m.Backend <= 1.0001 &&
+			m.IPC >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultConfigMatchesTable6Spirit(t *testing.T) {
+	c := DefaultConfig()
+	if c.L1D.SizeBytes != 32<<10 || c.L2.SizeBytes != 256<<10 {
+		t.Error("L1/L2 sizes should match a Xeon-class core")
+	}
+	if c.L3.SizeBytes < 8<<20 {
+		t.Error("LLC should be large")
+	}
+	if c.IssueWidth < 2 || c.MLP <= 1 {
+		t.Error("core parameters implausible")
+	}
+}

@@ -1,0 +1,77 @@
+package property
+
+import "testing"
+
+func benchGraph(n int) *Graph {
+	g := New(Options{Hint: n})
+	for i := 0; i < n; i++ {
+		g.AddVertex(VertexID(i))
+	}
+	for i := 0; i < n; i++ {
+		g.AddEdge(VertexID(i), VertexID((i+1)%n), 1)
+		g.AddEdge(VertexID(i), VertexID((i*7+3)%n), 1)
+	}
+	return g
+}
+
+func BenchmarkAddVertex(b *testing.B) {
+	g := New(Options{Hint: b.N})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.AddVertex(VertexID(i))
+	}
+}
+
+func BenchmarkFindVertex(b *testing.B) {
+	g := benchGraph(1 << 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.FindVertex(VertexID(i&0xffff)) == nil {
+			b.Fatal("missing vertex")
+		}
+	}
+}
+
+func BenchmarkAddEdge(b *testing.B) {
+	n := 1 << 14
+	g := New(Options{Hint: n})
+	for i := 0; i < n; i++ {
+		g.AddVertex(VertexID(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.AddEdge(VertexID(i&(n-1)), VertexID((i*31+7)&(n-1)), 1)
+	}
+}
+
+func BenchmarkNeighbors(b *testing.B) {
+	g := benchGraph(1 << 14)
+	vw := g.View()
+	b.ResetTimer()
+	sum := 0
+	for i := 0; i < b.N; i++ {
+		v := vw.Verts[i&(len(vw.Verts)-1)]
+		g.Neighbors(v, func(_ int, e *Edge) bool { sum++; return true })
+	}
+	_ = sum
+}
+
+func BenchmarkView(b *testing.B) {
+	g := benchGraph(1 << 14)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.View()
+	}
+}
+
+func BenchmarkClone(b *testing.B) {
+	g := benchGraph(1 << 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Clone(g)
+	}
+}

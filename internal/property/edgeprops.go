@@ -1,0 +1,186 @@
+package property
+
+import (
+	"errors"
+
+	"github.com/graphbig/graphbig-go/internal/mem"
+)
+
+// The paper's property-graph model attaches user-defined properties to
+// vertices and edges ("graph systems represent graph data as a property
+// graph, which associates user-defined properties with each vertex and
+// edge", §2). Vertex properties live in schema slots; this file adds the
+// edge-property primitives and free-form vertex metadata blobs (user
+// profiles, annotations) with simulated-address accounting.
+
+// ErrNoEdgeProps is returned when edge-property primitives are used on a
+// graph built without Options.EdgePropSlots.
+var ErrNoEdgeProps = errors.New("property: graph built without edge property slots")
+
+// ErrEdgeNotFound is returned when an edge-property primitive cannot find
+// the addressed edge.
+var ErrEdgeNotFound = errors.New("property: edge not found")
+
+// EdgeProp reads slot of the e-th record without framework accounting.
+func (e *Edge) EdgeProp(slot int) float64 {
+	if slot >= len(e.props) {
+		return 0
+	}
+	return e.props[slot]
+}
+
+// setEdgePropRecord updates one record (and reports the store).
+func (g *Graph) setEdgePropRecord(v *Vertex, i int, slot int, x float64) {
+	e := &v.Out[i]
+	if slot >= len(e.props) {
+		e.props = append(e.props, make([]float64, slot+1-len(e.props))...)
+	}
+	e.props[slot] = x
+	if t := g.trk; t != nil {
+		t.Store(v.edgeAddr+uint64(i)*g.edgeRec+uint64(edgeRecordBytes+slot*8), 8)
+		t.Inst(2)
+	}
+}
+
+// SetEdgeProp writes slot of the src->dst edge through the framework.
+// On undirected graphs the mirrored record is updated too, so both
+// traversal directions observe the value.
+func (g *Graph) SetEdgeProp(src, dst VertexID, slot int, x float64) error {
+	if g.edgeSlots == 0 {
+		return ErrNoEdgeProps
+	}
+	if slot < 0 || slot >= g.edgeSlots {
+		return errors.New("property: edge property slot out of range")
+	}
+	t := g.trk
+	if t != nil {
+		t.Enter(mem.ClassFramework)
+		defer t.Exit()
+		t.Inst(6)
+	}
+	sv := g.FindVertex(src)
+	if sv == nil {
+		return ErrEdgeNotFound
+	}
+	found := false
+	for i := range sv.Out {
+		if t != nil {
+			t.Load(sv.edgeAddr+uint64(i)*g.edgeRec, edgeRecordBytes)
+			t.Branch(siteEdgeScan, sv.Out[i].To != dst)
+		}
+		if sv.Out[i].To == dst {
+			g.setEdgePropRecord(sv, i, slot, x)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return ErrEdgeNotFound
+	}
+	if !g.directed && src != dst {
+		dv := g.FindVertex(dst)
+		if dv != nil {
+			for i := range dv.Out {
+				if dv.Out[i].To == src {
+					g.setEdgePropRecord(dv, i, slot, x)
+					break
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// GetEdgeProp reads slot of the src->dst edge through the framework.
+func (g *Graph) GetEdgeProp(src, dst VertexID, slot int) (float64, error) {
+	if g.edgeSlots == 0 {
+		return 0, ErrNoEdgeProps
+	}
+	t := g.trk
+	if t != nil {
+		t.Enter(mem.ClassFramework)
+		defer t.Exit()
+		t.Inst(5)
+	}
+	sv := g.FindVertex(src)
+	if sv == nil {
+		return 0, ErrEdgeNotFound
+	}
+	for i := range sv.Out {
+		if t != nil {
+			t.Load(sv.edgeAddr+uint64(i)*g.edgeRec, edgeRecordBytes)
+			t.Branch(siteEdgeScan, sv.Out[i].To != dst)
+		}
+		if sv.Out[i].To == dst {
+			if t != nil {
+				t.Load(sv.edgeAddr+uint64(i)*g.edgeRec+uint64(edgeRecordBytes+slot*8), 8)
+			}
+			return sv.Out[i].EdgeProp(slot), nil
+		}
+	}
+	return 0, ErrEdgeNotFound
+}
+
+// EdgePropSlots returns the per-edge property capacity.
+func (g *Graph) EdgePropSlots() int { return g.edgeSlots }
+
+// --- vertex metadata blobs --------------------------------------------------
+
+// meta is the free-form payload attached to a vertex: rich metadata such
+// as user profiles or gene annotations (paper §2).
+type meta struct {
+	data []byte
+	addr uint64
+}
+
+// SetMeta attaches (or replaces) a named metadata blob on v. The blob is
+// copied; its simulated storage is allocated from the graph arena and
+// reported as framework stores.
+func (g *Graph) SetMeta(v *Vertex, key string, data []byte) {
+	t := g.trk
+	if t != nil {
+		t.Enter(mem.ClassFramework)
+		t.Inst(uint64(8 + len(key)))
+	}
+	if v.meta == nil {
+		v.meta = make(map[string]meta, 2)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	addr := g.arena.Alloc(uint64(len(data))+16, 16)
+	v.meta[key] = meta{data: cp, addr: addr}
+	if t != nil {
+		t.Store(addr, uint32(len(data))+16)
+		t.Exit()
+	}
+}
+
+// Meta reads a metadata blob (nil if absent). The returned slice must not
+// be modified.
+func (g *Graph) Meta(v *Vertex, key string) []byte {
+	t := g.trk
+	if t != nil {
+		t.Enter(mem.ClassFramework)
+		t.Inst(uint64(6 + len(key)))
+	}
+	m, ok := v.meta[key]
+	if t != nil {
+		if ok {
+			t.Load(m.addr, uint32(len(m.data))+16)
+		}
+		t.Exit()
+	}
+	if !ok {
+		return nil
+	}
+	return m.data
+}
+
+// MetaKeys returns the metadata keys attached to v (order unspecified).
+func (g *Graph) MetaKeys(v *Vertex) []string {
+	out := make([]string, 0, len(v.meta))
+	for k := range v.meta {
+		out = append(out, k)
+	}
+	return out
+}

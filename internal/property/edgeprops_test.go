@@ -1,0 +1,160 @@
+package property
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/graphbig/graphbig-go/internal/mem"
+)
+
+func edgePropGraph(t *testing.T, directed bool) *Graph {
+	t.Helper()
+	g := New(Options{Directed: directed, TrackInEdges: directed, EdgePropSlots: 2})
+	for i := VertexID(0); i < 4; i++ {
+		g.AddVertex(i)
+	}
+	if err := g.AddEdge(0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2, 7); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestEdgePropsRoundTrip(t *testing.T) {
+	g := edgePropGraph(t, false)
+	if err := g.SetEdgeProp(0, 1, 0, 3.5); err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.GetEdgeProp(0, 1, 0)
+	if err != nil || got != 3.5 {
+		t.Errorf("GetEdgeProp = %v, %v", got, err)
+	}
+	// Undirected: readable from the mirrored direction too.
+	got, err = g.GetEdgeProp(1, 0, 0)
+	if err != nil || got != 3.5 {
+		t.Errorf("mirror GetEdgeProp = %v, %v", got, err)
+	}
+	// Unset slot reads zero.
+	if got, err := g.GetEdgeProp(0, 1, 1); err != nil || got != 0 {
+		t.Errorf("unset slot = %v, %v", got, err)
+	}
+}
+
+func TestEdgePropsDirected(t *testing.T) {
+	g := edgePropGraph(t, true)
+	if err := g.SetEdgeProp(0, 1, 1, 9); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := g.GetEdgeProp(0, 1, 1); got != 9 {
+		t.Errorf("directed edge prop = %v", got)
+	}
+	// No mirror on directed graphs.
+	if _, err := g.GetEdgeProp(1, 0, 1); err != ErrEdgeNotFound {
+		t.Errorf("reverse direction should not exist: %v", err)
+	}
+}
+
+func TestEdgePropsErrors(t *testing.T) {
+	plain := New(Options{})
+	plain.AddVertex(1)
+	if err := plain.SetEdgeProp(1, 2, 0, 1); err != ErrNoEdgeProps {
+		t.Errorf("want ErrNoEdgeProps, got %v", err)
+	}
+	if _, err := plain.GetEdgeProp(1, 2, 0); err != ErrNoEdgeProps {
+		t.Errorf("want ErrNoEdgeProps, got %v", err)
+	}
+	g := edgePropGraph(t, false)
+	if err := g.SetEdgeProp(0, 3, 0, 1); err != ErrEdgeNotFound {
+		t.Errorf("missing edge: %v", err)
+	}
+	if err := g.SetEdgeProp(99, 1, 0, 1); err != ErrEdgeNotFound {
+		t.Errorf("missing src: %v", err)
+	}
+	if err := g.SetEdgeProp(0, 1, 5, 1); err == nil {
+		t.Error("slot out of range should fail")
+	}
+	if g.EdgePropSlots() != 2 {
+		t.Errorf("slots = %d", g.EdgePropSlots())
+	}
+}
+
+func TestEdgePropsAccounting(t *testing.T) {
+	g := edgePropGraph(t, false)
+	c := mem.NewCounting()
+	g.SetTracker(c)
+	if err := g.SetEdgeProp(0, 1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stores[mem.ClassFramework] < 2 {
+		t.Errorf("expected stores to both mirrored records, got %d", c.Stores[mem.ClassFramework])
+	}
+	if c.Insts[mem.ClassUser] != 0 {
+		t.Error("edge-prop primitive leaked user-class events")
+	}
+}
+
+func TestMetaBlobs(t *testing.T) {
+	g := New(Options{})
+	v, _ := g.AddVertex(7)
+	if g.Meta(v, "profile") != nil {
+		t.Error("missing meta should be nil")
+	}
+	g.SetMeta(v, "profile", []byte("jane doe, analyst"))
+	g.SetMeta(v, "avatar", []byte{1, 2, 3})
+	if !bytes.Equal(g.Meta(v, "profile"), []byte("jane doe, analyst")) {
+		t.Error("meta roundtrip failed")
+	}
+	if len(g.MetaKeys(v)) != 2 {
+		t.Errorf("keys = %v", g.MetaKeys(v))
+	}
+	// Replacement.
+	g.SetMeta(v, "profile", []byte("x"))
+	if string(g.Meta(v, "profile")) != "x" {
+		t.Error("meta replacement failed")
+	}
+	// The blob is copied, not aliased.
+	src := []byte("mutable")
+	g.SetMeta(v, "m", src)
+	src[0] = 'X'
+	if string(g.Meta(v, "m")) != "mutable" {
+		t.Error("meta aliased caller's slice")
+	}
+}
+
+func TestMetaAccounting(t *testing.T) {
+	c := mem.NewCounting()
+	g := New(Options{Tracker: c})
+	v, _ := g.AddVertex(1)
+	g.SetMeta(v, "k", make([]byte, 100))
+	before := c.Loads[mem.ClassFramework]
+	g.Meta(v, "k")
+	if c.Loads[mem.ClassFramework] != before+1 {
+		t.Error("meta read not accounted")
+	}
+}
+
+func TestCloneCopiesEdgePropsAndMeta(t *testing.T) {
+	g := edgePropGraph(t, false)
+	if err := g.SetEdgeProp(0, 1, 0, 4.5); err != nil {
+		t.Fatal(err)
+	}
+	v := g.FindVertex(2)
+	g.SetMeta(v, "tag", []byte("hot"))
+
+	c := Clone(g)
+	if got, err := c.GetEdgeProp(0, 1, 0); err != nil || got != 4.5 {
+		t.Errorf("cloned edge prop = %v, %v", got, err)
+	}
+	if string(c.Meta(c.FindVertex(2), "tag")) != "hot" {
+		t.Error("cloned meta missing")
+	}
+	// Mutating the clone's edge prop must not leak back.
+	if err := c.SetEdgeProp(0, 1, 0, 9); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := g.GetEdgeProp(0, 1, 0); got != 4.5 {
+		t.Errorf("clone aliased original edge props: %v", got)
+	}
+}

@@ -1,0 +1,762 @@
+package property
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/graphbig/graphbig-go/internal/mem"
+)
+
+// VertexID identifies a vertex. IDs are user-assigned and need not be dense.
+type VertexID uint64
+
+// Simulated layout constants. The cache/TLB model only cares about the
+// address pattern, so round structure sizes are used.
+const (
+	vertexRecordBytes = 64 // id, degree, list heads, flags — one cache line
+	edgeRecordBytes   = 24 // destination id, weight, property pointer
+	inRecordBytes     = 8  // source id
+	indexBucketBytes  = 16 // key + vertex pointer (open addressing)
+	propSlotBytes     = 8  // one float64 property slot
+)
+
+// Branch-site identifiers for the framework's data-dependent branches.
+const (
+	siteFindProbe uint32 = iota + 1
+	siteNeighborLoop
+	siteEdgeScan
+	siteInScan
+	// SiteUserBase is the first branch-site id available to workload code;
+	// framework sites stay below it.
+	SiteUserBase uint32 = 64
+)
+
+// Edge is one outgoing edge record stored inside its source vertex.
+// Weight is the universally-present property; graphs built with
+// Options.EdgePropSlots carry additional per-edge slots behind the
+// SetEdgeProp/GetEdgeProp primitives.
+type Edge struct {
+	To     VertexID
+	Weight float64
+
+	props []float64
+}
+
+// Vertex is the basic unit of the graph: identity, properties and the
+// outgoing adjacency list live together (vertex-centric representation).
+type Vertex struct {
+	ID  VertexID
+	Out []Edge
+	In  []VertexID // populated only when Options.TrackInEdges
+
+	props    []float64
+	meta     map[string]meta
+	addr     uint64 // simulated base of the vertex record (props follow)
+	edgeAddr uint64 // simulated base of the out-edge chunk
+	edgeCap  int
+	inAddr   uint64
+	inCap    int
+	dead     bool
+}
+
+// OutDegree returns the current out-degree.
+func (v *Vertex) OutDegree() int { return len(v.Out) }
+
+// InDegree returns the in-degree (0 unless in-edges are tracked).
+func (v *Vertex) InDegree() int { return len(v.In) }
+
+func (v *Vertex) propAddr(slot int) uint64 {
+	return v.addr + vertexRecordBytes + uint64(slot)*propSlotBytes
+}
+
+type shard struct {
+	id       int
+	mu       sync.RWMutex
+	index    map[VertexID]*Vertex
+	verts    []*Vertex // insertion order; dead vertices stay as tombstones
+	idxAddr  uint64    // simulated base of this shard's index table
+	idxCap   uint64    // simulated bucket capacity (power of two)
+	idxCount uint64
+}
+
+// Options configures a Graph.
+type Options struct {
+	// Directed selects edge semantics. Undirected graphs store each edge
+	// as two mirrored records, one in each endpoint's list.
+	Directed bool
+	// TrackInEdges maintains per-vertex in-edge lists for directed graphs.
+	// DeleteVertex on a directed graph requires it.
+	TrackInEdges bool
+	// Schema declares the initial property fields (may be nil).
+	Schema *Schema
+	// Tracker, when non-nil, receives the framework's simulated event
+	// stream. Instrumented graphs must be used single-threaded.
+	Tracker mem.Tracker
+	// Arena supplies simulated addresses; a fresh one is created if nil.
+	Arena *mem.Arena
+	// EdgePropSlots reserves per-edge property slots, enabling the
+	// SetEdgeProp/GetEdgeProp primitives (0 = weight-only edges).
+	EdgePropSlots int
+	// Shards is the lock-shard count (power of two; default 256).
+	Shards int
+	// Hint is the expected vertex count, used to presize shard maps.
+	Hint int
+}
+
+// Graph is a dynamic vertex-centric property graph.
+type Graph struct {
+	directed  bool
+	trackIn   bool
+	edgeSlots int
+	edgeRec   uint64 // simulated edge-record stride (base + prop slots)
+	sch       *Schema
+	shards    []shard
+	mask      uint64
+	arena     *mem.Arena
+	trk       mem.Tracker
+
+	nVerts atomic.Int64
+	nEdges atomic.Int64 // logical edges (an undirected edge counts once)
+}
+
+// ErrNeedInEdges is returned by DeleteVertex on a directed graph built
+// without Options.TrackInEdges.
+var ErrNeedInEdges = errors.New("property: DeleteVertex on a directed graph requires TrackInEdges")
+
+// New returns an empty graph.
+func New(opt Options) *Graph {
+	ns := opt.Shards
+	if ns <= 0 {
+		ns = 256
+	}
+	// Round shard count up to a power of two.
+	p := 1
+	for p < ns {
+		p <<= 1
+	}
+	ns = p
+	sch := opt.Schema
+	if sch == nil {
+		sch = NewSchema()
+	}
+	ar := opt.Arena
+	if ar == nil {
+		ar = mem.NewArena(1 << 20)
+	}
+	if opt.EdgePropSlots < 0 {
+		opt.EdgePropSlots = 0
+	}
+	g := &Graph{
+		directed:  opt.Directed,
+		trackIn:   opt.TrackInEdges,
+		edgeSlots: opt.EdgePropSlots,
+		edgeRec:   uint64(edgeRecordBytes + opt.EdgePropSlots*8),
+		sch:       sch,
+		shards:    make([]shard, ns),
+		mask:      uint64(ns - 1),
+		arena:     ar,
+		trk:       opt.Tracker,
+	}
+	per := opt.Hint/ns + 4
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.id = i
+		sh.index = make(map[VertexID]*Vertex, per)
+		cap64 := uint64(16)
+		for cap64 < uint64(2*per) {
+			cap64 <<= 1
+		}
+		sh.idxCap = cap64
+		sh.idxAddr = ar.Alloc(cap64*indexBucketBytes, 64)
+	}
+	return g
+}
+
+// Directed reports edge semantics.
+func (g *Graph) Directed() bool { return g.directed }
+
+// Schema returns the graph's property schema.
+func (g *Graph) Schema() *Schema { return g.sch }
+
+// Arena returns the simulated address arena (workloads allocate their local
+// structures from it so that the profiler sees a unified address space).
+func (g *Graph) Arena() *mem.Arena { return g.arena }
+
+// Tracker returns the instrumentation sink (nil on native runs).
+func (g *Graph) Tracker() mem.Tracker { return g.trk }
+
+// SetTracker installs (or removes, with nil) the instrumentation sink.
+// It must not be called concurrently with graph use.
+func (g *Graph) SetTracker(t mem.Tracker) { g.trk = t }
+
+// VertexCount returns the number of live vertices.
+func (g *Graph) VertexCount() int { return int(g.nVerts.Load()) }
+
+// EdgeCount returns the number of logical edges (an undirected edge counts
+// once even though it is stored twice).
+func (g *Graph) EdgeCount() int { return int(g.nEdges.Load()) }
+
+// EnsureField registers a property field (idempotent) and returns its slot.
+// Fields beyond the reserved capacity (16 slots, see Schema) panic: the
+// per-vertex property block is allocated at vertex creation.
+func (g *Graph) EnsureField(name string) int {
+	i := g.sch.add(name)
+	if i >= g.sch.cap {
+		panic("property: schema capacity exceeded; declare fields in NewSchema")
+	}
+	return i
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+func (g *Graph) shardOf(id VertexID) *shard {
+	return &g.shards[mix64(uint64(id))&g.mask]
+}
+
+func (sh *shard) bucketAddr(id VertexID) uint64 {
+	return sh.idxAddr + (mix64(uint64(id))&(sh.idxCap-1))*indexBucketBytes
+}
+
+// --- framework primitives -------------------------------------------------
+
+// FindVertex looks the vertex up through the index, returning nil if absent.
+func (g *Graph) FindVertex(id VertexID) *Vertex {
+	sh := g.shardOf(id)
+	t := g.trk
+	if t != nil {
+		t.Enter(mem.ClassFramework)
+		t.Inst(6)
+		t.Load(sh.bucketAddr(id), indexBucketBytes)
+		t.Branch(siteFindProbe, true)
+	}
+	sh.mu.RLock()
+	v := sh.index[id]
+	sh.mu.RUnlock()
+	if t != nil {
+		if v != nil {
+			t.Load(v.addr, vertexRecordBytes)
+		}
+		t.Exit()
+	}
+	if v == nil || v.dead {
+		return nil
+	}
+	return v
+}
+
+// AddVertex inserts a vertex, returning it and whether it was newly added.
+// Adding an existing ID returns the existing vertex with added=false.
+func (g *Graph) AddVertex(id VertexID) (v *Vertex, added bool) {
+	sh := g.shardOf(id)
+	t := g.trk
+	if t != nil {
+		t.Enter(mem.ClassFramework)
+		t.Inst(34) // hash, allocation, record init, index bookkeeping
+		t.Load(sh.bucketAddr(id), indexBucketBytes)
+	}
+	sh.mu.Lock()
+	if old, ok := sh.index[id]; ok && !old.dead {
+		sh.mu.Unlock()
+		if t != nil {
+			t.Load(old.addr, vertexRecordBytes)
+			t.Exit()
+		}
+		return old, false
+	}
+	nprops := g.sch.cap
+	v = &Vertex{
+		ID:    id,
+		props: make([]float64, nprops),
+		addr:  g.arena.Alloc(vertexRecordBytes+uint64(nprops)*propSlotBytes, 64),
+	}
+	sh.index[id] = v
+	sh.verts = append(sh.verts, v)
+	sh.idxCount++
+	grew := sh.idxCount*2 > sh.idxCap
+	if grew {
+		sh.idxCap *= 2
+		sh.idxAddr = g.arena.Alloc(sh.idxCap*indexBucketBytes, 64)
+	}
+	sh.mu.Unlock()
+	g.nVerts.Add(1)
+	if t != nil {
+		t.Store(sh.bucketAddr(id), indexBucketBytes)
+		t.Store(v.addr, uint32(vertexRecordBytes+nprops*propSlotBytes))
+		if grew {
+			// Rehash: stream the old table through the new one.
+			t.Load(sh.idxAddr, uint32(sh.idxCap/2*indexBucketBytes))
+			t.Store(sh.idxAddr, uint32(sh.idxCap*indexBucketBytes))
+		}
+		t.Exit()
+	}
+	return v, true
+}
+
+// growEdges moves v's out-edge chunk to a new simulated address with doubled
+// capacity, accounting for the copy.
+func (g *Graph) growEdges(v *Vertex, t mem.Tracker) {
+	newCap := v.edgeCap * 2
+	if newCap < 4 {
+		newCap = 4
+	}
+	old := v.edgeAddr
+	v.edgeAddr = g.arena.Alloc(uint64(newCap)*g.edgeRec, 64)
+	if t != nil && v.edgeCap > 0 {
+		t.Load(old, uint32(uint64(v.edgeCap)*g.edgeRec))
+		t.Store(v.edgeAddr, uint32(uint64(v.edgeCap)*g.edgeRec))
+		t.Inst(uint64(4 + v.edgeCap))
+	}
+	v.edgeCap = newCap
+}
+
+func (g *Graph) growIn(v *Vertex, t mem.Tracker) {
+	newCap := v.inCap * 2
+	if newCap < 4 {
+		newCap = 4
+	}
+	old := v.inAddr
+	v.inAddr = g.arena.Alloc(uint64(newCap)*inRecordBytes, 64)
+	if t != nil && v.inCap > 0 {
+		t.Load(old, uint32(v.inCap*inRecordBytes))
+		t.Store(v.inAddr, uint32(v.inCap*inRecordBytes))
+		t.Inst(uint64(4 + v.inCap/2))
+	}
+	v.inCap = newCap
+}
+
+func (g *Graph) appendOut(src *Vertex, e Edge, t mem.Tracker) {
+	if len(src.Out) >= src.edgeCap {
+		g.growEdges(src, t)
+	}
+	src.Out = append(src.Out, e)
+	if t != nil {
+		t.Inst(10)
+		t.Store(src.edgeAddr+uint64(len(src.Out)-1)*g.edgeRec, edgeRecordBytes)
+		t.Store(src.addr, 8) // degree field
+	}
+}
+
+func (g *Graph) appendIn(dst *Vertex, src VertexID, t mem.Tracker) {
+	if len(dst.In) >= dst.inCap {
+		g.growIn(dst, t)
+	}
+	dst.In = append(dst.In, src)
+	if t != nil {
+		t.Inst(3)
+		t.Store(dst.inAddr+uint64(len(dst.In)-1)*inRecordBytes, inRecordBytes)
+	}
+}
+
+// lockPair acquires the shard locks of a and b in a deadlock-free order.
+func (g *Graph) lockPair(a, b *shard) {
+	if a == b {
+		a.mu.Lock()
+		return
+	}
+	if a.id < b.id {
+		a.mu.Lock()
+		b.mu.Lock()
+	} else {
+		b.mu.Lock()
+		a.mu.Lock()
+	}
+}
+
+func (g *Graph) unlockPair(a, b *shard) {
+	a.mu.Unlock()
+	if a != b {
+		b.mu.Unlock()
+	}
+}
+
+// AddEdge inserts an edge from src to dst with the given weight. Both
+// endpoints must exist. On an undirected graph the edge is stored in both
+// adjacency lists but counted once. Parallel edges are permitted (the
+// generators emit simple graphs; TMorph uses FindEdge to avoid duplicates).
+//
+// On a directed graph without in-edge tracking the destination's vertex
+// record is never dereferenced — only its index bucket is probed — so
+// append-style construction (GCons) keeps the locality the paper observes.
+func (g *Graph) AddEdge(src, dst VertexID, w float64) error {
+	t := g.trk
+	if t != nil {
+		t.Enter(mem.ClassFramework)
+		t.Inst(22) // argument checks, allocation amortization, bookkeeping
+	}
+	sv := g.FindVertex(src)
+	var dv *Vertex
+	if g.directed && !g.trackIn {
+		dsh := g.shardOf(dst)
+		if t != nil {
+			t.Inst(6)
+			t.Load(dsh.bucketAddr(dst), indexBucketBytes)
+		}
+		dsh.mu.RLock()
+		dv = dsh.index[dst]
+		dsh.mu.RUnlock()
+		if dv != nil && dv.dead {
+			dv = nil
+		}
+	} else {
+		dv = g.FindVertex(dst)
+	}
+	if sv == nil || dv == nil {
+		if t != nil {
+			t.Exit()
+		}
+		return errors.New("property: AddEdge endpoint not found")
+	}
+	ssh, dsh := g.shardOf(src), g.shardOf(dst)
+	g.lockPair(ssh, dsh)
+	g.appendOut(sv, Edge{To: dst, Weight: w}, t)
+	if g.directed {
+		if g.trackIn {
+			g.appendIn(dv, src, t)
+		}
+	} else {
+		g.appendOut(dv, Edge{To: src, Weight: w}, t)
+	}
+	g.unlockPair(ssh, dsh)
+	g.nEdges.Add(1)
+	if t != nil {
+		t.Exit()
+	}
+	return nil
+}
+
+// FindEdge scans src's adjacency list for an edge to dst.
+func (g *Graph) FindEdge(src, dst VertexID) *Edge {
+	t := g.trk
+	sv := g.FindVertex(src)
+	if sv == nil {
+		return nil
+	}
+	if t != nil {
+		t.Enter(mem.ClassFramework)
+		t.Inst(4)
+	}
+	var found *Edge
+	for i := range sv.Out {
+		if t != nil {
+			t.Load(sv.edgeAddr+uint64(i)*g.edgeRec, edgeRecordBytes)
+			t.Branch(siteEdgeScan, sv.Out[i].To != dst)
+			t.Inst(2)
+		}
+		if sv.Out[i].To == dst {
+			found = &sv.Out[i]
+			break
+		}
+	}
+	if t != nil {
+		t.Exit()
+	}
+	return found
+}
+
+// Neighbors streams src's outgoing edges to fn; fn returning false stops
+// the traversal. The per-edge fetch is framework work; fn runs as user code.
+func (g *Graph) Neighbors(v *Vertex, fn func(i int, e *Edge) bool) {
+	t := g.trk
+	if t != nil {
+		t.Enter(mem.ClassFramework)
+		t.Inst(4)
+		t.Load(v.addr, 16) // degree + list head
+	}
+	for i := range v.Out {
+		if t != nil {
+			t.Load(v.edgeAddr+uint64(i)*g.edgeRec, edgeRecordBytes)
+			t.Branch(siteNeighborLoop, i+1 < len(v.Out))
+			t.Inst(2)
+			t.Exit() // user callback
+		}
+		cont := fn(i, &v.Out[i])
+		if t != nil {
+			t.Enter(mem.ClassFramework)
+		}
+		if !cont {
+			break
+		}
+	}
+	if t != nil {
+		t.Exit()
+	}
+}
+
+// GetProp reads property slot of v through the framework.
+func (g *Graph) GetProp(v *Vertex, slot int) float64 {
+	if t := g.trk; t != nil {
+		t.Enter(mem.ClassFramework)
+		t.Inst(3)
+		t.Load(v.propAddr(slot), propSlotBytes)
+		t.Exit()
+	}
+	return v.props[slot]
+}
+
+// SetProp writes property slot of v through the framework.
+func (g *Graph) SetProp(v *Vertex, slot int, x float64) {
+	if t := g.trk; t != nil {
+		t.Enter(mem.ClassFramework)
+		t.Inst(3)
+		t.Store(v.propAddr(slot), propSlotBytes)
+		t.Exit()
+	}
+	v.props[slot] = x
+}
+
+// Prop returns v's property without framework accounting; native kernels
+// on hot paths use it after the algorithm has located the vertex.
+func (v *Vertex) Prop(slot int) float64 { return v.props[slot] }
+
+// SetPropRaw writes v's property without framework accounting.
+func (v *Vertex) SetPropRaw(slot int, x float64) { v.props[slot] = x }
+
+// removeOutRecord deletes the first record src->dst, reporting whether one
+// was removed. Caller holds src's shard lock (or runs single-threaded).
+func (g *Graph) removeOutRecord(src *Vertex, dst VertexID, t mem.Tracker) bool {
+	for i := range src.Out {
+		if t != nil {
+			t.Load(src.edgeAddr+uint64(i)*g.edgeRec, edgeRecordBytes)
+			t.Branch(siteEdgeScan, src.Out[i].To != dst)
+			t.Inst(2)
+		}
+		if src.Out[i].To == dst {
+			last := len(src.Out) - 1
+			src.Out[i] = src.Out[last]
+			src.Out = src.Out[:last]
+			if t != nil {
+				t.Store(src.edgeAddr+uint64(i)*g.edgeRec, edgeRecordBytes)
+				t.Store(src.addr, 8)
+				t.Inst(4)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func (g *Graph) removeInRecord(dst *Vertex, src VertexID, t mem.Tracker) bool {
+	for i := range dst.In {
+		if t != nil {
+			t.Load(dst.inAddr+uint64(i)*inRecordBytes, inRecordBytes)
+			t.Branch(siteInScan, dst.In[i] != src)
+			t.Inst(2)
+		}
+		if dst.In[i] == src {
+			last := len(dst.In) - 1
+			dst.In[i] = dst.In[last]
+			dst.In = dst.In[:last]
+			if t != nil {
+				t.Store(dst.inAddr+uint64(i)*inRecordBytes, inRecordBytes)
+				t.Inst(3)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// DeleteEdge removes one src->dst edge (both mirrored records on an
+// undirected graph). It reports whether an edge was removed.
+func (g *Graph) DeleteEdge(src, dst VertexID) bool {
+	t := g.trk
+	if t != nil {
+		t.Enter(mem.ClassFramework)
+		t.Inst(8)
+	}
+	sv := g.FindVertex(src)
+	dv := g.FindVertex(dst)
+	if sv == nil || dv == nil {
+		if t != nil {
+			t.Exit()
+		}
+		return false
+	}
+	ssh, dsh := g.shardOf(src), g.shardOf(dst)
+	g.lockPair(ssh, dsh)
+	removed := g.removeOutRecord(sv, dst, t)
+	if removed {
+		if g.directed {
+			if g.trackIn {
+				g.removeInRecord(dv, src, t)
+			}
+		} else {
+			g.removeOutRecord(dv, src, t)
+		}
+		g.nEdges.Add(-1)
+	}
+	g.unlockPair(ssh, dsh)
+	if t != nil {
+		t.Exit()
+	}
+	return removed
+}
+
+// DeleteVertex removes the vertex and every edge incident to it. On a
+// directed graph it requires TrackInEdges. It reports the number of logical
+// edges removed, or an error.
+//
+// DeleteVertex must not run concurrently with other mutations (the GUp
+// workload performs deletions from a single goroutine, as System G's
+// transactional update path would).
+func (g *Graph) DeleteVertex(id VertexID) (int, error) {
+	t := g.trk
+	if t != nil {
+		t.Enter(mem.ClassFramework)
+		t.Inst(12)
+	}
+	v := g.FindVertex(id)
+	if v == nil {
+		if t != nil {
+			t.Exit()
+		}
+		return 0, nil
+	}
+	if g.directed && !g.trackIn {
+		if t != nil {
+			t.Exit()
+		}
+		return 0, ErrNeedInEdges
+	}
+	removed := 0
+	selfRecs := 0
+	// Outgoing edges: delete the mirrored/in record at each destination.
+	for _, e := range v.Out {
+		if t != nil {
+			t.Load(v.edgeAddr, edgeRecordBytes)
+		}
+		if e.To == id {
+			selfRecs++
+			continue // self loop: no remote record to clean up
+		}
+		if nb := g.FindVertex(e.To); nb != nil {
+			if g.directed {
+				g.removeInRecord(nb, id, t)
+			} else {
+				g.removeOutRecord(nb, id, t)
+			}
+		}
+		removed++
+	}
+	if g.directed {
+		// Incoming edges: delete the out record at each source.
+		for _, srcID := range v.In {
+			if t != nil {
+				t.Load(v.inAddr, inRecordBytes)
+			}
+			if srcID == id {
+				continue
+			}
+			if src := g.FindVertex(srcID); src != nil {
+				if g.removeOutRecord(src, id, t) {
+					removed++
+				}
+			}
+		}
+	}
+	// A directed self loop is one record; an undirected one is mirrored.
+	if g.directed {
+		removed += selfRecs
+	} else {
+		removed += selfRecs / 2
+	}
+	v.Out = v.Out[:0]
+	v.In = v.In[:0]
+	v.dead = true
+	sh := g.shardOf(id)
+	sh.mu.Lock()
+	delete(sh.index, id)
+	sh.idxCount--
+	sh.mu.Unlock()
+	g.nVerts.Add(-1)
+	if !g.directed {
+		// Undirected logical edges were counted once; we visited each once
+		// via the out list.
+		g.nEdges.Add(int64(-removed))
+	} else {
+		g.nEdges.Add(int64(-removed))
+	}
+	if t != nil {
+		t.Store(sh.bucketAddr(id), indexBucketBytes)
+		t.Store(v.addr, vertexRecordBytes)
+		t.Exit()
+	}
+	return removed, nil
+}
+
+// ForEachVertex visits every live vertex in deterministic (shard, insertion)
+// order. fn runs as user code; the per-vertex fetch is framework work.
+func (g *Graph) ForEachVertex(fn func(v *Vertex)) {
+	t := g.trk
+	for i := range g.shards {
+		sh := &g.shards[i]
+		for _, v := range sh.verts {
+			if v.dead {
+				continue
+			}
+			if t != nil {
+				t.Enter(mem.ClassFramework)
+				t.Inst(3)
+				t.Load(v.addr, vertexRecordBytes)
+				t.Exit()
+			}
+			fn(v)
+		}
+	}
+}
+
+// View is a stable, ID-sorted snapshot of the live vertices, giving
+// algorithms dense integer indices. Creating a view also publishes each
+// vertex's index through the reserved "sys.index" property so algorithms
+// can go from a framework vertex to its index with a property read.
+type View struct {
+	Verts []*Vertex
+	pos   map[VertexID]int32
+}
+
+// SysIndexField is the schema field that carries a vertex's View index.
+const SysIndexField = "sys.index"
+
+// View snapshots the graph. It is an O(V log V) operation.
+func (g *Graph) View() *View {
+	n := g.VertexCount()
+	vs := make([]*Vertex, 0, n)
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.RLock()
+		for _, v := range sh.verts {
+			if !v.dead {
+				vs = append(vs, v)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i].ID < vs[j].ID })
+	idxSlot := g.EnsureField(SysIndexField)
+	pos := make(map[VertexID]int32, len(vs))
+	for i, v := range vs {
+		pos[v.ID] = int32(i)
+		v.props[idxSlot] = float64(i)
+	}
+	return &View{Verts: vs, pos: pos}
+}
+
+// IndexOf returns the dense index of id, or -1.
+func (vw *View) IndexOf(id VertexID) int32 {
+	if i, ok := vw.pos[id]; ok {
+		return i
+	}
+	return -1
+}
+
+// Len returns the number of vertices in the view.
+func (vw *View) Len() int { return len(vw.Verts) }

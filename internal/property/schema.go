@@ -1,0 +1,73 @@
+package property
+
+import "fmt"
+
+// Schema names the numeric property fields carried by every vertex.
+// Real-world property graphs attach rich metadata and algorithm state to
+// vertices (paper §2); GraphBIG models both as named float64 slots so that
+// state updates flow through the framework's property primitives.
+type Schema struct {
+	names []string
+	index map[string]int
+	cap   int
+}
+
+// minPropSlots is the per-vertex property capacity reserved at allocation.
+// Algorithms may register additional program-state fields after the graph
+// is built (e.g. "bfs.level"); reserving slots up front keeps the simulated
+// property-block address stable.
+const minPropSlots = 16
+
+// NewSchema returns a schema with the given initial field names.
+func NewSchema(names ...string) *Schema {
+	s := &Schema{index: make(map[string]int, len(names))}
+	for _, n := range names {
+		s.add(n)
+	}
+	s.cap = len(s.names)
+	if s.cap < minPropSlots {
+		s.cap = minPropSlots
+	}
+	return s
+}
+
+func (s *Schema) add(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	i := len(s.names)
+	s.names = append(s.names, name)
+	s.index[name] = i
+	return i
+}
+
+// Field returns the slot of name, or -1 if absent.
+func (s *Schema) Field(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// MustField returns the slot of name and panics if absent. Workload setup
+// code uses it after EnsureField, so a panic indicates a programming error.
+func (s *Schema) MustField(name string) int {
+	i := s.Field(name)
+	if i < 0 {
+		panic(fmt.Sprintf("property: unknown field %q", name))
+	}
+	return i
+}
+
+// NumFields returns the number of registered fields.
+func (s *Schema) NumFields() int { return len(s.names) }
+
+// Cap returns the per-vertex reserved slot capacity.
+func (s *Schema) Cap() int { return s.cap }
+
+// Names returns a copy of the field names in slot order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.names))
+	copy(out, s.names)
+	return out
+}

@@ -1,0 +1,40 @@
+package simt
+
+import "testing"
+
+func BenchmarkLaunchCoalesced(b *testing.B) {
+	d := NewDevice(KeplerConfig())
+	base := d.Alloc(1<<16, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Launch(1024, func(tid int32, ln *Lane) {
+			ln.Ld(base+uint64(tid)*4, 4)
+			ln.Op(4)
+		})
+	}
+}
+
+func BenchmarkLaunchScattered(b *testing.B) {
+	d := NewDevice(KeplerConfig())
+	base := d.Alloc(1<<22, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Launch(1024, func(tid int32, ln *Lane) {
+			ln.Ld(base+uint64(tid*977%(1<<20))*4, 4)
+			ln.Op(4)
+		})
+	}
+}
+
+func BenchmarkLaneRecording(b *testing.B) {
+	var ln Lane
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ln.ev = ln.ev[:0]
+		for k := 0; k < 32; k++ {
+			ln.Ld(uint64(k)*64, 4)
+			ln.Op(2)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package workloads
+
+import (
+	"sync/atomic"
+
+	"github.com/graphbig/graphbig-go/internal/concurrent"
+	"github.com/graphbig/graphbig-go/internal/property"
+)
+
+// BFSLevelField is the vertex property holding the BFS level (program
+// state lives in properties, per the paper's framework description).
+const BFSLevelField = "bfs.level"
+
+// BFS performs a level-synchronous breadth-first traversal from
+// opt.Source, writing each reached vertex's level into BFSLevelField.
+// It is the suite's most-used workload (10 of the 21 use cases, Fig 4).
+//
+// Native mode processes each frontier in parallel; a concurrent bitmap
+// arbitrates discovery so every vertex is claimed exactly once.
+func BFS(g *property.Graph, opt Options) (*Result, error) {
+	vw := view(g, &opt)
+	n := vw.Len()
+	if n == 0 {
+		return nil, ErrEmptyGraph
+	}
+	lvl := g.EnsureField(BFSLevelField)
+	idxSlot := g.EnsureField(property.SysIndexField)
+	for _, v := range vw.Verts {
+		v.SetPropRaw(lvl, -1)
+	}
+	srcIdx, err := pick(vw, opt)
+	if err != nil {
+		return nil, err
+	}
+	t := g.Tracker()
+	w := workers(g, opt)
+
+	visited := concurrent.NewBitmap(n)
+	cur := concurrent.NewFrontier(n)
+	next := concurrent.NewFrontier(n)
+	qSim := newSimArr(g, n, 4)
+
+	src := vw.Verts[srcIdx]
+	g.SetProp(src, lvl, 0)
+	visited.Set(int(srcIdx))
+	cur.Push(srcIdx)
+	qSim.St(0)
+
+	var reached atomic.Int64
+	reached.Store(1)
+	depth := 0
+	for cur.Len() > 0 {
+		depth++
+		levelVal := float64(depth)
+		fr := cur.Slice()
+		concurrent.ParallelItems(len(fr), w, 64, func(k int) {
+			qSim.Ld(k)
+			inst(t, 3)
+			u := vw.Verts[fr[k]]
+			g.Neighbors(u, func(_ int, e *property.Edge) bool {
+				nb := g.FindVertex(e.To)
+				if nb == nil {
+					return true
+				}
+				seen := g.GetProp(nb, lvl) >= 0
+				branch(t, siteVisited, seen)
+				if seen {
+					return true
+				}
+				nbIdx := int(g.GetProp(nb, idxSlot))
+				if visited.TrySet(nbIdx) {
+					g.SetProp(nb, lvl, levelVal)
+					next.Push(int32(nbIdx))
+					qSim.St(next.Len() - 1)
+					inst(t, 2)
+					reached.Add(1)
+				}
+				return true
+			})
+		})
+		cur, next = next, cur
+		next.Reset()
+	}
+
+	// Verification pass (uninstrumented): level checksum.
+	sum := 0.0
+	for _, v := range vw.Verts {
+		if l := v.Prop(lvl); l >= 0 {
+			sum += l
+		}
+	}
+	return &Result{
+		Workload: "BFS",
+		Visited:  reached.Load(),
+		Checksum: sum,
+		Stats:    map[string]float64{"depth": float64(depth - 1)},
+	}, nil
+}

@@ -1,0 +1,99 @@
+package workloads
+
+import (
+	"sync/atomic"
+
+	"github.com/graphbig/graphbig-go/internal/concurrent"
+	"github.com/graphbig/graphbig-go/internal/property"
+)
+
+// CCompField is the vertex property holding the component label.
+const CCompField = "cc.label"
+
+// CComp labels connected components. Following the paper (§4.2), the CPU
+// implementation runs successive BFS traversals — one per component — with
+// frontier-parallelism inside each traversal in native mode. On directed
+// graphs it computes weakly-connected components of the out-edge
+// structure only (the suite's datasets store undirected graphs mirrored).
+func CComp(g *property.Graph, opt Options) (*Result, error) {
+	vw := view(g, &opt)
+	n := vw.Len()
+	if n == 0 {
+		return nil, ErrEmptyGraph
+	}
+	lbl := g.EnsureField(CCompField)
+	idxSlot := g.EnsureField(property.SysIndexField)
+	for _, v := range vw.Verts {
+		v.SetPropRaw(lbl, -1)
+	}
+	t := g.Tracker()
+	w := workers(g, opt)
+
+	visited := concurrent.NewBitmap(n)
+	cur := concurrent.NewFrontier(n)
+	next := concurrent.NewFrontier(n)
+	qSim := newSimArr(g, n, 4)
+
+	comps := 0
+	var touched atomic.Int64
+	largest := 0
+	for s := 0; s < n; s++ {
+		inst(t, 2)
+		seen := visited.Test(s)
+		branch(t, siteVisited, seen)
+		if seen {
+			continue
+		}
+		label := float64(comps)
+		comps++
+		size := 1
+		visited.Set(s)
+		g.SetProp(vw.Verts[s], lbl, label)
+		touched.Add(1)
+		cur.Reset()
+		cur.Push(int32(s))
+		for cur.Len() > 0 {
+			fr := cur.Slice()
+			var lvlCount atomic.Int64
+			concurrent.ParallelItems(len(fr), w, 64, func(k int) {
+				qSim.Ld(k)
+				u := vw.Verts[fr[k]]
+				g.Neighbors(u, func(_ int, e *property.Edge) bool {
+					nb := g.FindVertex(e.To)
+					if nb == nil {
+						return true
+					}
+					seen := g.GetProp(nb, lbl) >= 0
+					branch(t, siteVisited, seen)
+					if seen {
+						return true
+					}
+					nbIdx := int(g.GetProp(nb, idxSlot))
+					if visited.TrySet(nbIdx) {
+						g.SetProp(nb, lbl, label)
+						next.Push(int32(nbIdx))
+						qSim.St(next.Len() - 1)
+						lvlCount.Add(1)
+					}
+					return true
+				})
+			})
+			size += int(lvlCount.Load())
+			touched.Add(lvlCount.Load())
+			cur, next = next, cur
+			next.Reset()
+		}
+		if size > largest {
+			largest = size
+		}
+	}
+	return &Result{
+		Workload: "CComp",
+		Visited:  touched.Load(),
+		Checksum: float64(comps),
+		Stats: map[string]float64{
+			"components": float64(comps),
+			"largest":    float64(largest),
+		},
+	}, nil
+}

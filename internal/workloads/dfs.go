@@ -1,0 +1,81 @@
+package workloads
+
+import (
+	"github.com/graphbig/graphbig-go/internal/property"
+)
+
+// DFSOrderField is the vertex property holding the DFS preorder number.
+const DFSOrderField = "dfs.pre"
+
+// DFS performs an iterative depth-first traversal from opt.Source,
+// assigning preorder numbers. Depth-first order is inherently sequential,
+// so DFS always runs on one worker; it contributes the deep-stack,
+// last-in-first-out access pattern to the suite's CompStruct mix.
+func DFS(g *property.Graph, opt Options) (*Result, error) {
+	vw := view(g, &opt)
+	n := vw.Len()
+	if n == 0 {
+		return nil, ErrEmptyGraph
+	}
+	pre := g.EnsureField(DFSOrderField)
+	idxSlot := g.EnsureField(property.SysIndexField)
+	for _, v := range vw.Verts {
+		v.SetPropRaw(pre, -1)
+	}
+	srcIdx, err := pick(vw, opt)
+	if err != nil {
+		return nil, err
+	}
+	t := g.Tracker()
+
+	stack := make([]int32, 0, n)
+	sSim := newSimArr(g, n*2, 4) // stack may transiently exceed n entries
+	push := func(i int32) {
+		stack = append(stack, i)
+		sSim.St(len(stack) - 1)
+	}
+
+	push(srcIdx)
+	tmpBuf := make([]int32, 0, 64)
+	count := int64(0)
+	sum := 0.0
+	for len(stack) > 0 {
+		sSim.Ld(len(stack) - 1)
+		inst(t, 4)
+		u := vw.Verts[stack[len(stack)-1]]
+		stack = stack[:len(stack)-1]
+		seen := g.GetProp(u, pre) >= 0
+		branch(t, siteVisited, seen)
+		if seen {
+			continue
+		}
+		g.SetProp(u, pre, float64(count))
+		sum += float64(count) * float64(u.ID%97)
+		count++
+		// Gather unvisited neighbors, then push them in reverse so the
+		// traversal visits them in adjacency order (deterministic preorder).
+		tmp := tmpBuf[:0]
+		g.Neighbors(u, func(_ int, e *property.Edge) bool {
+			nb := g.FindVertex(e.To)
+			if nb == nil {
+				return true
+			}
+			seen := g.GetProp(nb, pre) >= 0
+			branch(t, siteVisited, seen)
+			if !seen {
+				tmp = append(tmp, int32(g.GetProp(nb, idxSlot)))
+			}
+			return true
+		})
+		for i := len(tmp) - 1; i >= 0; i-- {
+			push(tmp[i])
+		}
+		tmpBuf = tmp
+	}
+	return &Result{
+		Workload: "DFS",
+		Visited:  count,
+		Checksum: sum,
+		Stats:    map[string]float64{},
+	}, nil
+}

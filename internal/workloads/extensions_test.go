@@ -1,0 +1,186 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"github.com/graphbig/graphbig-go/internal/gen"
+	"github.com/graphbig/graphbig-go/internal/property"
+)
+
+func TestCCentrPath(t *testing.T) {
+	// Path 0-1-2, full sampling: closeness(1) = 2/2 * 1 = 1 (sum of
+	// distances 1+1=2, reached-1 = 2, frac = 1).
+	g := pathGraph(t, 3)
+	_, err := CCentr(g, Options{Samples: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := g.Schema().MustField(CCentrField)
+	vw := g.View()
+	if got := vw.Verts[1].Prop(cc); math.Abs(got-1) > 1e-12 {
+		t.Errorf("closeness(middle) = %v, want 1", got)
+	}
+	// Ends: distances 1+2=3, closeness = 2/3.
+	if got := vw.Verts[0].Prop(cc); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("closeness(end) = %v, want 2/3", got)
+	}
+}
+
+func TestCCentrDisconnected(t *testing.T) {
+	g := buildUndirected(t, 3, [][3]int{{0, 1, 1}}) // 2,3 isolated
+	res, err := CCentr(g, Options{Samples: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := g.Schema().MustField(CCentrField)
+	vw := g.View()
+	// Vertex 0 reaches 1 of 3 others: closeness = 1/1 * (1/3).
+	if got := vw.Verts[0].Prop(cc); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("closeness = %v, want 1/3 (Wasserman-Faust)", got)
+	}
+	if res.Checksum <= 0 {
+		t.Error("no centrality accumulated")
+	}
+}
+
+func TestBFSDirOptMatchesBFS(t *testing.T) {
+	g := gen.LDBC(1500, 13, 0)
+	base, err := BFS(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := gen.LDBC(1500, 13, 0)
+	opt, err := BFSDirOpt(g2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Visited != opt.Visited || base.Checksum != opt.Checksum {
+		t.Errorf("direction-optimized BFS differs: %+v vs %+v", base, opt)
+	}
+	// On a dense social graph the bottom-up path must actually engage.
+	if opt.Stats["bottom_up_levels"] == 0 {
+		t.Error("bottom-up never engaged on a social graph")
+	}
+}
+
+func TestBFSDirOptParallelMatches(t *testing.T) {
+	g := gen.LDBC(1500, 3, 0)
+	seq, err := BFSDirOpt(g, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := gen.LDBC(1500, 3, 0)
+	par, err := BFSDirOpt(g2, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Visited != par.Visited || seq.Checksum != par.Checksum {
+		t.Errorf("parallel dir-opt BFS differs")
+	}
+}
+
+func TestSPathDeltaMatchesDijkstra(t *testing.T) {
+	g := gen.LDBC(1200, 17, 0)
+	dj, err := SPath(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := gen.LDBC(1200, 17, 0)
+	ds, err := SPathDelta(g2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dj.Visited != ds.Visited {
+		t.Fatalf("settled: dijkstra %d vs delta %d", dj.Visited, ds.Visited)
+	}
+	if math.Abs(dj.Checksum-ds.Checksum) > 1e-6*math.Max(1, dj.Checksum) {
+		t.Errorf("distance sums differ: %v vs %v", dj.Checksum, ds.Checksum)
+	}
+	// Per-vertex distances identical.
+	d1 := g.Schema().MustField(SPathDistField)
+	d2 := g2.Schema().MustField(SPathDistField)
+	vw1, vw2 := g.View(), g2.View()
+	for i := range vw1.Verts {
+		a, b := vw1.Verts[i].Prop(d1), vw2.Verts[i].Prop(d2)
+		if a != b && !(math.IsInf(a, 1) && math.IsInf(b, 1)) {
+			t.Fatalf("dist[%d]: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestSPathDeltaParallelMatches(t *testing.T) {
+	g := gen.Road(2000, 5, 0)
+	seq, err := SPathDelta(g, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := gen.Road(2000, 5, 0)
+	par, err := SPathDelta(g2, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Visited != par.Visited || math.Abs(seq.Checksum-par.Checksum) > 1e-6 {
+		t.Errorf("parallel delta-stepping differs: %+v vs %+v", seq, par)
+	}
+}
+
+func TestExtensionsOnTrivialGraphs(t *testing.T) {
+	empty := property.New(property.Options{})
+	if _, err := CCentr(empty, Options{}); err != ErrEmptyGraph {
+		t.Error("CCentr on empty graph should fail")
+	}
+	if _, err := BFSDirOpt(empty, Options{}); err != ErrEmptyGraph {
+		t.Error("BFSDirOpt on empty graph should fail")
+	}
+	if _, err := SPathDelta(empty, Options{}); err != ErrEmptyGraph {
+		t.Error("SPathDelta on empty graph should fail")
+	}
+	single := property.New(property.Options{})
+	single.AddVertex(1)
+	for name, run := range map[string]func(*property.Graph, Options) (*Result, error){
+		"CCentr": CCentr, "BFSDirOpt": BFSDirOpt, "SPathDelta": SPathDelta,
+	} {
+		if _, err := run(single, Options{}); err != nil {
+			t.Errorf("%s on single vertex: %v", name, err)
+		}
+	}
+}
+
+func TestCCompLPMatchesCComp(t *testing.T) {
+	g := gen.Gene(2000, 9, 0)
+	bfsBased, err := CComp(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := gen.Gene(2000, 9, 0)
+	lp, err := CCompLP(g2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bfsBased.Stats["components"] != lp.Stats["components"] {
+		t.Errorf("components: bfs %v vs lp %v",
+			bfsBased.Stats["components"], lp.Stats["components"])
+	}
+	if bfsBased.Stats["largest"] != lp.Stats["largest"] {
+		t.Errorf("largest: bfs %v vs lp %v",
+			bfsBased.Stats["largest"], lp.Stats["largest"])
+	}
+}
+
+func TestCCompLPParallelMatches(t *testing.T) {
+	g := gen.LDBC(1000, 4, 0)
+	seq, err := CCompLP(g, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := gen.LDBC(1000, 4, 0)
+	par, err := CCompLP(g2, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Stats["components"] != par.Stats["components"] {
+		t.Errorf("parallel LP differs: %v vs %v",
+			seq.Stats["components"], par.Stats["components"])
+	}
+}

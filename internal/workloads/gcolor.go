@@ -1,0 +1,145 @@
+package workloads
+
+import (
+	"sync/atomic"
+
+	"github.com/graphbig/graphbig-go/internal/concurrent"
+	"github.com/graphbig/graphbig-go/internal/property"
+)
+
+// ColorField is the vertex property holding the assigned color.
+const ColorField = "gcolor.color"
+
+// GColor colors the graph with the Luby/Jones-Plassmann parallel heuristic
+// the paper cites [14]: each round, every uncolored vertex whose random
+// priority beats all of its uncolored neighbors takes the smallest color
+// absent from its neighborhood. Rounds repeat until no vertex remains.
+// Per-vertex work is numeric (priority compares, color-set scans) on top
+// of neighbor property reads, giving GColor its CompProp-leaning profile.
+func GColor(g *property.Graph, opt Options) (*Result, error) {
+	vw := view(g, &opt)
+	n := vw.Len()
+	if n == 0 {
+		return nil, ErrEmptyGraph
+	}
+	col := g.EnsureField(ColorField)
+	for _, v := range vw.Verts {
+		v.SetPropRaw(col, -1)
+	}
+	t := g.Tracker()
+	w := workers(g, opt)
+	maxIters := opt.MaxIters
+	if maxIters <= 0 {
+		maxIters = 4 * 1024
+	}
+
+	prio := func(id property.VertexID) uint64 { return mix64(uint64(id) + uint64(opt.Seed)) }
+
+	work := make([]int32, n)
+	for i := range work {
+		work[i] = int32(i)
+	}
+	wSim := newSimArr(g, n, 4)
+
+	rounds := 0
+	var colored atomic.Int64
+	maxColor := int64(0)
+	var maxColorA atomic.Int64
+	for len(work) > 0 && rounds < maxIters {
+		rounds++
+		nextWork := concurrent.NewFrontier(len(work))
+		concurrent.ParallelItems(len(work), w, 32, func(k int) {
+			wSim.Ld(k)
+			v := vw.Verts[work[k]]
+			p := prio(v.ID)
+			inst(t, 4)
+			// Local maximum test among uncolored neighbors.
+			isMax := true
+			var used uint64 // bitset of low neighbor colors
+			overflow := false
+			g.Neighbors(v, func(_ int, e *property.Edge) bool {
+				nb := g.FindVertex(e.To)
+				if nb == nil {
+					return true
+				}
+				c := g.GetProp(nb, col)
+				uncolored := c < 0
+				branch(t, siteColor, uncolored)
+				inst(t, 3)
+				if uncolored {
+					np := prio(nb.ID)
+					if np > p || (np == p && nb.ID > v.ID) {
+						isMax = false
+						return false
+					}
+				} else if int(c) < 64 {
+					used |= 1 << uint(c)
+				} else {
+					overflow = true
+				}
+				return true
+			})
+			branch(t, siteColor, isMax)
+			if !isMax {
+				nextWork.Push(work[k])
+				wSim.St(nextWork.Len() - 1)
+				return
+			}
+			// Smallest color not used by any colored neighbor.
+			c := int64(0)
+			for used&(1<<uint(c)) != 0 {
+				c++
+				inst(t, 2)
+			}
+			if overflow && c >= 64 {
+				// Rare dense-neighborhood fallback: rescan for exact set.
+				c = exactSmallestColor(g, v, col)
+			}
+			g.SetProp(v, col, float64(c))
+			colored.Add(1)
+			for {
+				m := maxColorA.Load()
+				if c <= m || maxColorA.CompareAndSwap(m, c) {
+					break
+				}
+			}
+		})
+		work = append(work[:0], nextWork.Slice()...)
+	}
+	maxColor = maxColorA.Load()
+
+	sum := 0.0
+	for _, v := range vw.Verts {
+		sum += v.Prop(col)
+	}
+	return &Result{
+		Workload: "GColor",
+		Visited:  colored.Load(),
+		Checksum: sum,
+		Stats: map[string]float64{
+			"rounds": float64(rounds),
+			"colors": float64(maxColor + 1),
+		},
+	}, nil
+}
+
+// exactSmallestColor handles neighborhoods using colors beyond the 64-bit
+// fast-path bitset.
+func exactSmallestColor(g *property.Graph, v *property.Vertex, col int) int64 {
+	used := make(map[int64]bool, v.OutDegree())
+	g.Neighbors(v, func(_ int, e *property.Edge) bool {
+		nb := g.FindVertex(e.To)
+		if nb == nil {
+			return true
+		}
+		if c := g.GetProp(nb, col); c >= 0 {
+			used[int64(c)] = true
+		}
+		return true
+	})
+	for c := int64(0); ; c++ {
+		if !used[c] {
+			return c
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package workloads
+
+import (
+	"github.com/graphbig/graphbig-go/internal/property"
+)
+
+// GUp deletes a sampled list of vertices (and every incident edge) from
+// the graph — the paper's graph-update workload. Victims are chosen
+// pseudo-randomly, so deletions scatter across the whole structure: the
+// random removal order is what gives GUp its high write intensity and the
+// worst backend-stall share of the CompDyn group (Fig 5).
+//
+// GUp mutates g. opt.Samples sets the victim count (default: 1/40 of the
+// vertices, at least 1). Deletion runs single-threaded, modelling the
+// serialized transactional update path of an industrial store.
+func GUp(g *property.Graph, opt Options) (*Result, error) {
+	vw := view(g, &opt)
+	n := vw.Len()
+	if n == 0 {
+		return nil, ErrEmptyGraph
+	}
+	k := opt.Samples
+	if k <= 0 {
+		k = n / 40
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	t := g.Tracker()
+	removedEdges := 0
+	deleted := 0
+	for i := 0; i < k; i++ {
+		idx := int(mix64(uint64(opt.Seed)+uint64(i)*0x9e3779b97f4a7c15) % uint64(n))
+		v := vw.Verts[idx]
+		inst(t, 6)
+		dead := g.FindVertex(v.ID) == nil
+		branch(t, siteDelete, dead)
+		if dead {
+			continue // already deleted by an earlier sample
+		}
+		re, err := g.DeleteVertex(v.ID)
+		if err != nil {
+			return nil, err
+		}
+		removedEdges += re
+		deleted++
+	}
+	return &Result{
+		Workload: "GUp",
+		Visited:  int64(deleted),
+		Checksum: float64(removedEdges),
+		Stats: map[string]float64{
+			"removed_edges": float64(removedEdges),
+			"remaining_v":   float64(g.VertexCount()),
+		},
+	}, nil
+}

@@ -1,0 +1,365 @@
+package workloads
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"github.com/graphbig/graphbig-go/internal/property"
+)
+
+// randomGraph builds an undirected simple graph from a seed: n in [4,60],
+// edge probability tuned to span sparse..dense.
+func randomGraph(seed uint64) *property.Graph {
+	r := rand.New(rand.NewPCG(seed, 0x5eed))
+	n := 4 + r.IntN(57)
+	p := 0.05 + r.Float64()*0.25
+	g := property.New(property.Options{Shards: 8})
+	for i := 0; i < n; i++ {
+		g.AddVertex(property.VertexID(i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < p {
+				_ = g.AddEdge(property.VertexID(i), property.VertexID(j), float64(1+r.IntN(9)))
+			}
+		}
+	}
+	return g
+}
+
+// TestQuickBFSLevelInvariant: within the reached component, adjacent
+// vertices' levels differ by at most one, and every non-source reached
+// vertex has a neighbor exactly one level closer.
+func TestQuickBFSLevelInvariant(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomGraph(seed)
+		if _, err := BFS(g, Options{}); err != nil {
+			return false
+		}
+		lvl := g.Schema().MustField(BFSLevelField)
+		ok := true
+		g.ForEachVertex(func(v *property.Vertex) {
+			lv := v.Prop(lvl)
+			if lv < 0 {
+				return
+			}
+			hasParent := lv == 0
+			for _, e := range v.Out {
+				ln := g.FindVertex(e.To).Prop(lvl)
+				if ln < 0 {
+					ok = false // neighbor of reached vertex must be reached
+					return
+				}
+				if math.Abs(ln-lv) > 1 {
+					ok = false
+					return
+				}
+				if ln == lv-1 {
+					hasParent = true
+				}
+			}
+			if !hasParent {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSPathOptimality: no edge admits a shorter relaxation, i.e.
+// dist[v] <= dist[u] + w(u,v) for every edge — the Bellman condition that
+// certifies Dijkstra's output.
+func TestQuickSPathOptimality(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomGraph(seed)
+		if _, err := SPath(g, Options{}); err != nil {
+			return false
+		}
+		dist := g.Schema().MustField(SPathDistField)
+		ok := true
+		g.ForEachVertex(func(v *property.Vertex) {
+			dv := v.Prop(dist)
+			if math.IsInf(dv, 1) {
+				return
+			}
+			for _, e := range v.Out {
+				dn := g.FindVertex(e.To).Prop(dist)
+				if dn > dv+e.Weight+1e-9 {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickKCoreDefinition: in the subgraph induced by vertices with
+// core >= k, every vertex has at least k neighbors — for k equal to each
+// vertex's own core number (the defining property of core decomposition).
+func TestQuickKCoreDefinition(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomGraph(seed)
+		if _, err := KCore(g, Options{}); err != nil {
+			return false
+		}
+		core := g.Schema().MustField(KCoreField)
+		ok := true
+		g.ForEachVertex(func(v *property.Vertex) {
+			k := v.Prop(core)
+			strong := 0
+			for _, e := range v.Out {
+				if g.FindVertex(e.To).Prop(core) >= k {
+					strong++
+				}
+			}
+			if float64(strong) < k {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickGColorProper: no edge connects equal colors, every vertex
+// colored.
+func TestQuickGColorProper(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomGraph(seed)
+		if _, err := GColor(g, Options{Seed: int64(seed)}); err != nil {
+			return false
+		}
+		col := g.Schema().MustField(ColorField)
+		ok := true
+		g.ForEachVertex(func(v *property.Vertex) {
+			c := v.Prop(col)
+			if c < 0 {
+				ok = false
+				return
+			}
+			for _, e := range v.Out {
+				if e.To != v.ID && g.FindVertex(e.To).Prop(col) == c {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTCMatchesBruteForce: Schank's count equals the O(n^3)
+// reference on small random graphs.
+func TestQuickTCMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomGraph(seed)
+		res, err := TC(g, Options{})
+		if err != nil {
+			return false
+		}
+		vw := g.View()
+		n := vw.Len()
+		adj := make([][]bool, n)
+		for i := range adj {
+			adj[i] = make([]bool, n)
+		}
+		for i, v := range vw.Verts {
+			for _, e := range v.Out {
+				j := vw.IndexOf(e.To)
+				adj[i][j] = true
+			}
+		}
+		brute := 0
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if !adj[a][b] {
+					continue
+				}
+				for c := b + 1; c < n; c++ {
+					if adj[a][c] && adj[b][c] {
+						brute++
+					}
+				}
+			}
+		}
+		return res.Stats["triangles"] == float64(brute)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCCompMatchesUnionFind: component count and co-membership match
+// a union-find reference.
+func TestQuickCCompMatchesUnionFind(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomGraph(seed)
+		res, err := CComp(g, Options{})
+		if err != nil {
+			return false
+		}
+		vw := g.View()
+		n := vw.Len()
+		parent := make([]int32, n)
+		for i := range parent {
+			parent[i] = int32(i)
+		}
+		var find func(int32) int32
+		find = func(x int32) int32 {
+			for parent[x] != x {
+				parent[x] = parent[parent[x]]
+				x = parent[x]
+			}
+			return x
+		}
+		for i, v := range vw.Verts {
+			for _, e := range v.Out {
+				a, b := find(int32(i)), find(vw.IndexOf(e.To))
+				if a != b {
+					parent[a] = b
+				}
+			}
+		}
+		roots := map[int32]bool{}
+		for i := int32(0); i < int32(n); i++ {
+			roots[find(i)] = true
+		}
+		if float64(len(roots)) != res.Stats["components"] {
+			return false
+		}
+		// Co-membership: same label <=> same root.
+		lbl := g.Schema().MustField(CCompField)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				sameLabel := vw.Verts[i].Prop(lbl) == vw.Verts[j].Prop(lbl)
+				sameRoot := find(int32(i)) == find(int32(j))
+				if sameLabel != sameRoot {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDCentrSum: degree centralities sum to 2E/(n-1) on undirected
+// simple graphs (handshake lemma).
+func TestQuickDCentrSum(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomGraph(seed)
+		res, err := DCentr(g, Options{})
+		if err != nil {
+			return false
+		}
+		n := g.VertexCount()
+		if n < 2 {
+			return true
+		}
+		want := 2 * float64(g.EdgeCount()) / float64(n-1)
+		return math.Abs(res.Checksum-want) < 1e-9*math.Max(1, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBCentrExactOnTrees: on a path (a tree), exact betweenness of
+// vertex i is 2*i*(n-1-i) — pairs separated through it, both directions.
+func TestQuickBCentrExactOnPaths(t *testing.T) {
+	f := func(nn uint8) bool {
+		n := 3 + int(nn%30)
+		g := property.New(property.Options{Shards: 4})
+		for i := 0; i < n; i++ {
+			g.AddVertex(property.VertexID(i))
+		}
+		for i := 0; i < n-1; i++ {
+			_ = g.AddEdge(property.VertexID(i), property.VertexID(i+1), 1)
+		}
+		if _, err := BCentr(g, Options{Samples: n}); err != nil {
+			return false
+		}
+		bc := g.Schema().MustField(BCentrField)
+		vw := g.View()
+		for i, v := range vw.Verts {
+			want := 2 * float64(i) * float64(n-1-i)
+			if math.Abs(v.Prop(bc)-want) > 1e-9*math.Max(1, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickGUpConservation: after deleting k vertices, the graph remains
+// structurally valid and counts are consistent.
+func TestQuickGUpValidity(t *testing.T) {
+	f := func(seed uint64, k uint8) bool {
+		g := randomGraph(seed)
+		_, err := GUp(g, Options{Samples: int(k%16) + 1, Seed: int64(seed)})
+		if err != nil {
+			return false
+		}
+		return property.Validate(g) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTraversalAgreement: BFS, direction-optimizing BFS and CComp
+// agree on reachability from the first vertex.
+func TestQuickTraversalAgreement(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomGraph(seed)
+		bfs, err := BFS(g, Options{})
+		if err != nil {
+			return false
+		}
+		g2 := randomGraph(seed)
+		dir, err := BFSDirOpt(g2, Options{})
+		if err != nil {
+			return false
+		}
+		if bfs.Visited != dir.Visited || bfs.Checksum != dir.Checksum {
+			return false
+		}
+		// The source's component size equals BFS reach.
+		g3 := randomGraph(seed)
+		cc, err := CComp(g3, Options{})
+		if err != nil {
+			return false
+		}
+		lbl := g3.Schema().MustField(CCompField)
+		vw := g3.View()
+		srcLabel := vw.Verts[0].Prop(lbl)
+		size := int64(0)
+		for _, v := range vw.Verts {
+			if v.Prop(lbl) == srcLabel {
+				size++
+			}
+		}
+		_ = cc
+		return size == bfs.Visited
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,122 @@
+package workloads
+
+import (
+	"sort"
+
+	"github.com/graphbig/graphbig-go/internal/property"
+)
+
+// maxParents caps the parent set married per vertex. Moralization is
+// quadratic in the parent count; industrial morphing pipelines bound it
+// the same way to keep hub vertices from exploding the moral graph.
+const maxParents = 16
+
+// TMorph generates an undirected moral graph from a DAG: every vertex's
+// parents are pairwise connected ("married") and all edges lose direction.
+// It combines construction, traversal and update operations, making it the
+// most structurally diverse CompDyn workload.
+//
+// A directed input (with in-edges tracked) supplies parent lists directly.
+// For an undirected input, edges are oriented low-ID -> high-ID first —
+// any simple graph induces a DAG that way — matching how the suite runs
+// TMorph over the shared datasets.
+func TMorph(g *property.Graph, opt Options) (*Result, error) {
+	vw := view(g, &opt)
+	n := vw.Len()
+	if n == 0 {
+		return nil, ErrEmptyGraph
+	}
+	t := g.Tracker()
+	mg := property.New(property.Options{
+		Directed: false,
+		Tracker:  g.Tracker(),
+		Arena:    g.Arena(),
+		Hint:     n,
+	})
+	for _, v := range vw.Verts {
+		mg.AddVertex(v.ID)
+	}
+	parents := make([]property.VertexID, 0, maxParents)
+	married := int64(0)
+	copied := int64(0)
+	for _, v := range vw.Verts {
+		// Copy original edges, undirected, once per pair. The duplicate
+		// check (an edge may already exist as an earlier marriage) scans
+		// the lower-degree endpoint's list.
+		g.Neighbors(v, func(_ int, e *property.Edge) bool {
+			keep := g.Directed() || e.To > v.ID
+			branch(t, siteMorph, keep)
+			if !keep {
+				return true
+			}
+			a, b := v.ID, e.To
+			va, vb := mg.FindVertex(a), mg.FindVertex(b)
+			if va == nil || vb == nil {
+				return true
+			}
+			if va.OutDegree() > vb.OutDegree() {
+				a, b = b, a
+			}
+			if mg.FindEdge(a, b) == nil {
+				if mg.AddEdge(v.ID, e.To, e.Weight) == nil {
+					copied++
+				}
+			}
+			return true
+		})
+		// Collect parents. The cap keeps the smallest-ID parents so the
+		// result is independent of adjacency-list storage order (a
+		// reloaded graph must morph identically).
+		parents = parents[:0]
+		if g.Directed() {
+			for _, p := range v.In {
+				inst(t, 2)
+				parents = append(parents, p)
+			}
+		} else {
+			g.Neighbors(v, func(_ int, e *property.Edge) bool {
+				isParent := e.To < v.ID
+				branch(t, siteMorph, isParent)
+				if isParent {
+					parents = append(parents, e.To)
+				}
+				return true
+			})
+		}
+		if len(parents) > maxParents {
+			sort.Slice(parents, func(a, b int) bool { return parents[a] < parents[b] })
+			inst(t, uint64(len(parents))*2)
+			parents = parents[:maxParents]
+		}
+		// Marry parent pairs. The duplicate check scans the adjacency of
+		// the currently lower-degree endpoint, so high-degree hubs (which
+		// parent many vertices) are not rescanned quadratically.
+		for i := 0; i < len(parents); i++ {
+			for j := i + 1; j < len(parents); j++ {
+				inst(t, 3)
+				a, b := parents[i], parents[j]
+				va, vb := mg.FindVertex(a), mg.FindVertex(b)
+				if va == nil || vb == nil {
+					continue
+				}
+				if va.OutDegree() > vb.OutDegree() {
+					a, b = b, a
+				}
+				if mg.FindEdge(a, b) == nil {
+					if mg.AddEdge(a, b, 1) == nil {
+						married++
+					}
+				}
+			}
+		}
+	}
+	return &Result{
+		Workload: "TMorph",
+		Visited:  copied + married,
+		Checksum: float64(mg.EdgeCount()),
+		Stats: map[string]float64{
+			"moral_edges":   float64(mg.EdgeCount()),
+			"married_pairs": float64(married),
+		},
+	}, nil
+}
