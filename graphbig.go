@@ -10,6 +10,7 @@
 // lives in the internal packages:
 //
 //	internal/property  — the dynamic vertex-centric graph framework
+//	internal/engine    — unified direction-optimizing frontier engine
 //	internal/csr       — CSR/COO static representations
 //	internal/gen       — dataset generators (Twitter, Knowledge, Gene, Road, LDBC, R-MAT)
 //	internal/bayes     — Bayesian networks + MUNIN-like generator
@@ -31,6 +32,7 @@ package graphbig
 
 import (
 	"github.com/graphbig/graphbig-go/internal/core"
+	"github.com/graphbig/graphbig-go/internal/engine"
 	"github.com/graphbig/graphbig-go/internal/gen"
 	"github.com/graphbig/graphbig-go/internal/harness"
 	"github.com/graphbig/graphbig-go/internal/property"
@@ -61,6 +63,26 @@ type Workload = core.Workload
 
 // Session caches datasets and simulator sweeps for experiments.
 type Session = harness.Session
+
+// View is an index-resolved snapshot of a graph: dense vertex indices plus
+// flat CSR-like adjacency arrays that native hot loops iterate directly.
+type View = property.View
+
+// Engine is the unified direction-optimizing frontier engine; workload
+// authors build traversals on it (see internal/engine).
+type Engine = engine.Engine
+
+// TraversalSpec configures one Engine.Traverse call.
+type TraversalSpec = engine.Spec
+
+// TraversalStats summarizes one Engine.Traverse call.
+type TraversalStats = engine.Stats
+
+// NewEngine returns a frontier engine over g's view; workers <= 0 selects
+// GOMAXPROCS, and instrumented graphs always run single-threaded.
+func NewEngine(g *Graph, vw *View, workers int) *Engine {
+	return engine.New(g, vw, workers)
+}
 
 // New returns an empty undirected property graph.
 func New() *Graph { return property.New(property.Options{}) }

@@ -6,6 +6,8 @@
 package concurrent
 
 import (
+	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -71,18 +73,25 @@ func (b *Bitmap) Clear() {
 func (b *Bitmap) Count() int {
 	c := 0
 	for i := range b.words {
-		c += popcount(b.words[i].Load())
+		c += bits.OnesCount64(b.words[i].Load())
 	}
 	return c
 }
 
-func popcount(x uint64) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
+// AppendSet appends the indices of all set bits to dst in ascending order
+// and returns the extended slice. It must not race with concurrent Set
+// calls; the engine uses it between pull phases to sparsify a dense
+// frontier.
+func (b *Bitmap) AppendSet(dst []int32) []int32 {
+	for wi := range b.words {
+		w := b.words[wi].Load()
+		base := int32(wi << 6)
+		for w != 0 {
+			dst = append(dst, base+int32(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
 	}
-	return n
+	return dst
 }
 
 // Frontier is a concurrent append-only queue of int32 vertex indices used
@@ -98,10 +107,15 @@ func NewFrontier(capacity int) *Frontier {
 	return &Frontier{buf: make([]int32, capacity)}
 }
 
-// Push appends v. It panics if capacity is exceeded (callers size frontiers
-// by vertex count, which bounds every level).
+// Push appends v. It panics with a descriptive message if capacity is
+// exceeded (callers size frontiers by vertex count, which bounds every
+// level); a raw index-out-of-range from a worker goroutine would be
+// undiagnosable.
 func (f *Frontier) Push(v int32) {
 	i := f.len.Add(1) - 1
+	if int(i) >= len(f.buf) {
+		panic(fmt.Sprintf("concurrent: Frontier capacity %d exceeded pushing vertex %d (a vertex was enqueued more than once?)", len(f.buf), v))
+	}
 	f.buf[i] = v
 }
 

@@ -1,6 +1,7 @@
 package concurrent
 
 import (
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -87,6 +88,50 @@ func TestFrontierConcurrentPush(t *testing.T) {
 	f.Reset()
 	if f.Len() != 0 {
 		t.Error("Reset failed")
+	}
+}
+
+func TestFrontierPushOverflowPanics(t *testing.T) {
+	f := NewFrontier(2)
+	f.Push(7)
+	f.Push(8)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Push beyond capacity did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %T, want descriptive string", r)
+		}
+		for _, frag := range []string{"Frontier capacity 2", "vertex 9"} {
+			if !strings.Contains(msg, frag) {
+				t.Errorf("panic message %q missing %q", msg, frag)
+			}
+		}
+	}()
+	f.Push(9)
+}
+
+func TestBitmapAppendSet(t *testing.T) {
+	b := NewBitmap(200)
+	want := []int32{0, 1, 63, 64, 65, 127, 128, 199}
+	for _, i := range want {
+		b.Set(int(i))
+	}
+	got := b.AppendSet(nil)
+	if len(got) != len(want) {
+		t.Fatalf("AppendSet returned %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AppendSet returned %v, want %v", got, want)
+		}
+	}
+	// Appending onto an existing prefix keeps it.
+	got = b.AppendSet([]int32{-1})
+	if got[0] != -1 || len(got) != len(want)+1 {
+		t.Errorf("AppendSet clobbered prefix: %v", got)
 	}
 }
 

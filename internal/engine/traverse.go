@@ -1,0 +1,242 @@
+package engine
+
+import (
+	"sync/atomic"
+
+	"github.com/graphbig/graphbig-go/internal/concurrent"
+)
+
+// Spec configures one Traverse call. Dist is the only required field: it is
+// both the output (level/component label per dense index) and the visited
+// structure — a vertex with Dist[v] >= 0 is never re-claimed, so callers
+// can run several traversals over one array (CComp labels components by
+// reusing it across calls).
+type Spec struct {
+	// Dist holds -1 for unvisited slots; Traverse writes the discovery
+	// round (0 for sources) into each claimed slot. len(Dist) must equal
+	// the engine's vertex count.
+	Dist []int32
+
+	// Visit, if set, is called exactly once per newly claimed vertex with
+	// its discovery round. In native runs it may be called from multiple
+	// goroutines concurrently; it must not touch framework primitives.
+	// Sources do not get a Visit call — callers initialize them.
+	Visit func(v, round int32)
+
+	// Label, if set with Labels, is written to Labels[v] when v is
+	// claimed, giving CComp-style workloads a race-free component tag
+	// without a second pass.
+	Label  int32
+	Labels []int32
+
+	// NoPull forces pure push mode (for workloads whose semantics depend
+	// on push-order effects, or for comparison runs).
+	NoPull bool
+
+	// TrackedVisit hosts the workload's instrumented per-frontier-item
+	// body: k is the position of u in the current frontier, and emit
+	// enqueues a newly discovered vertex for the next round, returning its
+	// position in that frontier (legacy loops record a simulated store at
+	// that slot). When a tracker is installed the engine runs a
+	// single-threaded push loop that only calls TrackedVisit — the event
+	// stream is entirely the workload's own, bit-identical to the
+	// pre-engine implementations.
+	TrackedVisit func(k int, u, round int32, emit func(v int32) int)
+}
+
+// Stats summarizes one Traverse call.
+type Stats struct {
+	Reached    int64 // vertices claimed, including the sources
+	Depth      int32 // highest round assigned (0 if only sources)
+	PushRounds int
+	PullRounds int
+}
+
+// Traverse runs a level-synchronous traversal from srcs. Sources must
+// already have Dist[src] set (by convention 0) by the caller; Traverse
+// claims every vertex reachable through unvisited slots and returns the
+// per-call stats.
+//
+// Native runs direction-optimize: rounds run in push mode (scatter from a
+// sparse frontier, atomic CAS claims) until the frontier's out-degree sum
+// exceeds unexplored/Alpha, then in pull mode (every unvisited vertex
+// scans its in-neighbors against a dense bitmap, single writer per slot)
+// until the awake count drops below n/Beta. Instrumented runs always use
+// the single-threaded push loop around Spec.TrackedVisit.
+func (e *Engine) Traverse(spec *Spec, srcs ...int32) Stats {
+	if len(spec.Dist) != e.n {
+		panic("engine: Spec.Dist length does not match view")
+	}
+	cur, next := e.frontiers()
+	for _, s := range srcs {
+		cur.Push(s)
+	}
+	st := Stats{Reached: int64(len(srcs))}
+	if e.Tracked() {
+		e.trackedPush(spec, cur, next, &st)
+	} else {
+		e.nativeTraverse(spec, cur, next, &st)
+	}
+	return st
+}
+
+// trackedPush is the deterministic single-threaded frontier loop backing
+// instrumented runs. All per-vertex and per-edge work — and therefore the
+// entire tracker event stream — lives in the workload's TrackedVisit.
+func (e *Engine) trackedPush(spec *Spec, cur, next *concurrent.Frontier, st *Stats) {
+	// emit captures next by reference, so the frontier swap below retargets
+	// it automatically.
+	emit := func(v int32) int {
+		next.Push(v)
+		return next.Len() - 1
+	}
+	round := int32(1)
+	for cur.Len() > 0 {
+		fr := cur.Slice()
+		for k := range fr {
+			spec.TrackedVisit(k, fr[k], round, emit)
+		}
+		st.Reached += int64(next.Len())
+		if next.Len() > 0 {
+			st.Depth = round
+		}
+		st.PushRounds++
+		cur, next = next, cur
+		next.Reset()
+		round++
+	}
+}
+
+func (e *Engine) nativeTraverse(spec *Spec, cur, next *concurrent.Frontier, st *Stats) {
+	vw := e.vw
+	// edgesLeft approximates the unexplored-edge count driving the
+	// push->pull switch; scout is the out-degree sum of the live frontier.
+	edgesLeft := vw.EdgeTotal()
+	scout := int64(0)
+	for _, s := range cur.Slice() {
+		scout += int64(vw.Degree(s))
+	}
+	round := int32(1)
+	for cur.Len() > 0 {
+		if !spec.NoPull && scout > edgesLeft/Alpha {
+			e.pullPhase(spec, cur, &round, st)
+			scout = 0
+			for _, s := range cur.Slice() {
+				scout += int64(vw.Degree(s))
+			}
+			edgesLeft = 0 // pull scanned the remainder; stay in push from here
+			continue
+		}
+		produced, scouted := e.pushRound(spec, cur, next, round)
+		edgesLeft -= scout
+		scout = scouted
+		st.Reached += produced
+		if produced > 0 {
+			st.Depth = round
+		}
+		st.PushRounds++
+		cur, next = next, cur
+		next.Reset()
+		round++
+	}
+}
+
+// pushRound scatters from the sparse frontier: each worker claims
+// unvisited neighbors with an atomic CAS on Dist, which makes the claim
+// the sole arbiter — no racy reads of shared workload state. Returns the
+// number of vertices produced and the sum of their degrees (scout count).
+func (e *Engine) pushRound(spec *Spec, cur, next *concurrent.Frontier, round int32) (int64, int64) {
+	vw := e.vw
+	dist := spec.Dist
+	fr := cur.Slice()
+	var produced, scouted atomic.Int64
+	e.ForItems(len(fr), 64, func(k int) {
+		u := fr[k]
+		var p, s int64
+		for _, v := range vw.Adj(u) {
+			if atomic.LoadInt32(&dist[v]) < 0 && atomic.CompareAndSwapInt32(&dist[v], -1, round) {
+				if spec.Labels != nil {
+					spec.Labels[v] = spec.Label
+				}
+				if spec.Visit != nil {
+					spec.Visit(v, round)
+				}
+				next.Push(v)
+				p++
+				s += int64(vw.Degree(v))
+			}
+		}
+		if p != 0 {
+			produced.Add(p)
+			scouted.Add(s)
+		}
+	})
+	return produced.Load(), scouted.Load()
+}
+
+// pullPhase runs bottom-up rounds: the sparse frontier is densified into a
+// bitmap, then every unvisited vertex scans its in-neighbors for a parent
+// on the frontier. Dist slots are written only by the worker owning their
+// chunk, so the phase needs no atomics on Dist. Rounds continue until the
+// awake count drops below n/Beta (or the traversal dies out), at which
+// point the surviving bitmap is sparsified back into cur for push mode.
+func (e *Engine) pullPhase(spec *Spec, cur *concurrent.Frontier, round *int32, st *Stats) {
+	vw := e.vw
+	dist := spec.Dist
+	n := e.n
+	curBits, nextBits := e.bitmaps()
+	curBits.Clear()
+	for _, v := range cur.Slice() {
+		curBits.Set(int(v))
+	}
+	for {
+		nextBits.Clear()
+		var produced atomic.Int64
+		r := *round
+		e.ForChunks(func(lo, hi int) {
+			var p int64
+			for v := lo; v < hi; v++ {
+				if dist[v] >= 0 {
+					continue
+				}
+				for _, u := range vw.InAdj(int32(v)) {
+					if curBits.Test(int(u)) {
+						dist[v] = r
+						if spec.Labels != nil {
+							spec.Labels[v] = spec.Label
+						}
+						if spec.Visit != nil {
+							spec.Visit(int32(v), r)
+						}
+						nextBits.Set(v)
+						p++
+						break
+					}
+				}
+			}
+			if p != 0 {
+				produced.Add(p)
+			}
+		})
+		awake := produced.Load()
+		st.Reached += awake
+		if awake > 0 {
+			st.Depth = r
+		}
+		st.PullRounds++
+		*round = r + 1
+		curBits, nextBits = nextBits, curBits
+		if awake == 0 {
+			cur.Reset()
+			return
+		}
+		if awake < int64(n)/Beta {
+			break
+		}
+	}
+	// Sparsify the surviving frontier back into push mode.
+	cur.Reset()
+	for _, v := range curBits.AppendSet(nil) {
+		cur.Push(v)
+	}
+}

@@ -1,9 +1,7 @@
 package workloads
 
 import (
-	"sync/atomic"
-
-	"github.com/graphbig/graphbig-go/internal/concurrent"
+	"github.com/graphbig/graphbig-go/internal/engine"
 	"github.com/graphbig/graphbig-go/internal/property"
 )
 
@@ -15,8 +13,10 @@ const BFSLevelField = "bfs.level"
 // opt.Source, writing each reached vertex's level into BFSLevelField.
 // It is the suite's most-used workload (10 of the 21 use cases, Fig 4).
 //
-// Native mode processes each frontier in parallel; a concurrent bitmap
-// arbitrates discovery so every vertex is claimed exactly once.
+// Both modes run on the unified frontier engine. Native runs
+// direction-optimize over the view's index-resolved adjacency; the
+// instrumented run supplies the per-edge framework walk as the engine's
+// TrackedVisit body, reproducing the pre-engine event stream exactly.
 func BFS(g *property.Graph, opt Options) (*Result, error) {
 	vw := view(g, &opt)
 	n := vw.Len()
@@ -33,66 +33,65 @@ func BFS(g *property.Graph, opt Options) (*Result, error) {
 		return nil, err
 	}
 	t := g.Tracker()
-	w := workers(g, opt)
-
-	visited := concurrent.NewBitmap(n)
-	cur := concurrent.NewFrontier(n)
-	next := concurrent.NewFrontier(n)
+	eng := engine.New(g, vw, opt.Workers)
 	qSim := newSimArr(g, n, 4)
 
-	src := vw.Verts[srcIdx]
-	g.SetProp(src, lvl, 0)
-	visited.Set(int(srcIdx))
-	cur.Push(srcIdx)
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[srcIdx] = 0
+	g.SetProp(vw.Verts[srcIdx], lvl, 0)
 	qSim.St(0)
 
-	var reached atomic.Int64
-	reached.Store(1)
-	depth := 0
-	for cur.Len() > 0 {
-		depth++
-		levelVal := float64(depth)
-		fr := cur.Slice()
-		concurrent.ParallelItems(len(fr), w, 64, func(k int) {
-			qSim.Ld(k)
-			inst(t, 3)
-			u := vw.Verts[fr[k]]
-			g.Neighbors(u, func(_ int, e *property.Edge) bool {
-				nb := g.FindVertex(e.To)
-				if nb == nil {
-					return true
-				}
-				seen := g.GetProp(nb, lvl) >= 0
-				branch(t, siteVisited, seen)
-				if seen {
-					return true
-				}
-				nbIdx := int(g.GetProp(nb, idxSlot))
-				if visited.TrySet(nbIdx) {
+	var st engine.Stats
+	if t != nil {
+		st = eng.Traverse(&engine.Spec{
+			Dist: dist,
+			TrackedVisit: func(k int, ui, round int32, emit func(v int32) int) {
+				qSim.Ld(k)
+				inst(t, 3)
+				levelVal := float64(round)
+				u := vw.Verts[ui]
+				g.Neighbors(u, func(_ int, e *property.Edge) bool {
+					nb := g.FindVertex(e.To)
+					if nb == nil {
+						return true
+					}
+					seen := g.GetProp(nb, lvl) >= 0
+					branch(t, siteVisited, seen)
+					if seen {
+						return true
+					}
+					nbIdx := int32(g.GetProp(nb, idxSlot))
+					dist[nbIdx] = round
 					g.SetProp(nb, lvl, levelVal)
-					next.Push(int32(nbIdx))
-					qSim.St(next.Len() - 1)
+					qSim.St(emit(nbIdx))
 					inst(t, 2)
-					reached.Add(1)
-				}
-				return true
-			})
+					return true
+				})
+			},
+		}, srcIdx)
+	} else {
+		st = eng.Traverse(&engine.Spec{Dist: dist}, srcIdx)
+		eng.ForVertices(256, func(i int) {
+			if d := dist[i]; d > 0 {
+				vw.Verts[i].SetPropRaw(lvl, float64(d))
+			}
 		})
-		cur, next = next, cur
-		next.Reset()
 	}
 
 	// Verification pass (uninstrumented): level checksum.
 	sum := 0.0
-	for _, v := range vw.Verts {
-		if l := v.Prop(lvl); l >= 0 {
-			sum += l
+	for i := range dist {
+		if dist[i] >= 0 {
+			sum += float64(dist[i])
 		}
 	}
 	return &Result{
 		Workload: "BFS",
-		Visited:  reached.Load(),
+		Visited:  st.Reached,
 		Checksum: sum,
-		Stats:    map[string]float64{"depth": float64(depth - 1)},
+		Stats:    map[string]float64{"depth": float64(st.Depth)},
 	}, nil
 }

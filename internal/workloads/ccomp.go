@@ -1,9 +1,7 @@
 package workloads
 
 import (
-	"sync/atomic"
-
-	"github.com/graphbig/graphbig-go/internal/concurrent"
+	"github.com/graphbig/graphbig-go/internal/engine"
 	"github.com/graphbig/graphbig-go/internal/property"
 )
 
@@ -11,10 +9,14 @@ import (
 const CCompField = "cc.label"
 
 // CComp labels connected components. Following the paper (§4.2), the CPU
-// implementation runs successive BFS traversals — one per component — with
-// frontier-parallelism inside each traversal in native mode. On directed
-// graphs it computes weakly-connected components of the out-edge
-// structure only (the suite's datasets store undirected graphs mirrored).
+// implementation runs successive BFS traversals — one per component — on
+// the unified frontier engine, which direction-optimizes inside each
+// component in native mode. On directed graphs it computes weakly-connected
+// components of the out-edge structure only (the suite's datasets store
+// undirected graphs mirrored).
+//
+// The per-call Dist array doubles as the visited set across components, so
+// each engine traversal claims only unlabeled vertices.
 func CComp(g *property.Graph, opt Options) (*Result, error) {
 	vw := view(g, &opt)
 	n := vw.Len()
@@ -27,37 +29,38 @@ func CComp(g *property.Graph, opt Options) (*Result, error) {
 		v.SetPropRaw(lbl, -1)
 	}
 	t := g.Tracker()
-	w := workers(g, opt)
-
-	visited := concurrent.NewBitmap(n)
-	cur := concurrent.NewFrontier(n)
-	next := concurrent.NewFrontier(n)
+	eng := engine.New(g, vw, opt.Workers)
 	qSim := newSimArr(g, n, 4)
 
+	dist := make([]int32, n)
+	labels := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+		labels[i] = -1
+	}
+
 	comps := 0
-	var touched atomic.Int64
-	largest := 0
+	var touched int64
+	var largest int64
 	for s := 0; s < n; s++ {
 		inst(t, 2)
-		seen := visited.Test(s)
+		seen := dist[s] >= 0
 		branch(t, siteVisited, seen)
 		if seen {
 			continue
 		}
-		label := float64(comps)
+		label := int32(comps)
 		comps++
-		size := 1
-		visited.Set(s)
-		g.SetProp(vw.Verts[s], lbl, label)
-		touched.Add(1)
-		cur.Reset()
-		cur.Push(int32(s))
-		for cur.Len() > 0 {
-			fr := cur.Slice()
-			var lvlCount atomic.Int64
-			concurrent.ParallelItems(len(fr), w, 64, func(k int) {
+		dist[s] = 0
+		labels[s] = label
+		g.SetProp(vw.Verts[s], lbl, float64(label))
+
+		spec := engine.Spec{Dist: dist, Label: label, Labels: labels}
+		if t != nil {
+			labelVal := float64(label)
+			spec.TrackedVisit = func(k int, ui, round int32, emit func(v int32) int) {
 				qSim.Ld(k)
-				u := vw.Verts[fr[k]]
+				u := vw.Verts[ui]
 				g.Neighbors(u, func(_ int, e *property.Edge) bool {
 					nb := g.FindVertex(e.To)
 					if nb == nil {
@@ -68,28 +71,29 @@ func CComp(g *property.Graph, opt Options) (*Result, error) {
 					if seen {
 						return true
 					}
-					nbIdx := int(g.GetProp(nb, idxSlot))
-					if visited.TrySet(nbIdx) {
-						g.SetProp(nb, lbl, label)
-						next.Push(int32(nbIdx))
-						qSim.St(next.Len() - 1)
-						lvlCount.Add(1)
-					}
+					nbIdx := int32(g.GetProp(nb, idxSlot))
+					dist[nbIdx] = round
+					labels[nbIdx] = label
+					g.SetProp(nb, lbl, labelVal)
+					qSim.St(emit(nbIdx))
 					return true
 				})
-			})
-			size += int(lvlCount.Load())
-			touched.Add(lvlCount.Load())
-			cur, next = next, cur
-			next.Reset()
+			}
 		}
-		if size > largest {
-			largest = size
+		st := eng.Traverse(&spec, int32(s))
+		touched += st.Reached
+		if st.Reached > largest {
+			largest = st.Reached
 		}
+	}
+	if t == nil {
+		eng.ForVertices(256, func(i int) {
+			vw.Verts[i].SetPropRaw(lbl, float64(labels[i]))
+		})
 	}
 	return &Result{
 		Workload: "CComp",
-		Visited:  touched.Load(),
+		Visited:  touched,
 		Checksum: float64(comps),
 		Stats: map[string]float64{
 			"components": float64(comps),

@@ -17,6 +17,10 @@ import (
 // cost of re-scanning every edge per round — the same trade the GPU
 // side's hooking/pointer-jumping formulation makes.
 //
+// Native rounds propagate over the view's resolved Adj arrays; the
+// instrumented run keeps the framework walk. Both converge in the same
+// rounds to the same labels since the edge structure is identical.
+//
 // Labels land in CCompField as the minimum dense index of each component;
 // component membership matches CComp exactly.
 func CCompLP(g *property.Graph, opt Options) (*Result, error) {
@@ -28,6 +32,7 @@ func CCompLP(g *property.Graph, opt Options) (*Result, error) {
 	lbl := g.EnsureField(CCompField)
 	idxSlot := g.EnsureField(property.SysIndexField)
 	t := g.Tracker()
+	tracked := t != nil
 	w := workers(g, opt)
 
 	cur := make([]float64, n)
@@ -47,27 +52,35 @@ func CCompLP(g *property.Graph, opt Options) (*Result, error) {
 		rounds++
 		var changed atomic.Bool
 		concurrent.ParallelItems(n, w, 128, func(i int) {
-			v := vw.Verts[i]
-			curSim.Ld(i)
 			best := cur[i]
-			g.Neighbors(v, func(_ int, e *property.Edge) bool {
-				nb := g.FindVertex(e.To)
-				if nb == nil {
+			if !tracked {
+				for _, wi := range vw.Adj(int32(i)) {
+					if l := cur[wi]; l < best {
+						best = l
+					}
+				}
+			} else {
+				curSim.Ld(i)
+				v := vw.Verts[i]
+				g.Neighbors(v, func(_ int, e *property.Edge) bool {
+					nb := g.FindVertex(e.To)
+					if nb == nil {
+						return true
+					}
+					wi := int32(g.GetProp(nb, idxSlot))
+					curSim.Ld(int(wi))
+					l := cur[wi]
+					lower := l < best
+					branch(t, siteCompare, lower)
+					inst(t, 2)
+					if lower {
+						best = l
+					}
 					return true
-				}
-				wi := int32(g.GetProp(nb, idxSlot))
-				curSim.Ld(int(wi))
-				l := cur[wi]
-				lower := l < best
-				branch(t, siteCompare, lower)
-				inst(t, 2)
-				if lower {
-					best = l
-				}
-				return true
-			})
+				})
+				nextSim.St(i)
+			}
 			next[i] = best
-			nextSim.St(i)
 			if best != cur[i] {
 				changed.Store(true)
 			}
@@ -83,7 +96,11 @@ func CCompLP(g *property.Graph, opt Options) (*Result, error) {
 	seen := map[float64]int{}
 	largest := 0
 	for i, v := range vw.Verts {
-		g.SetProp(v, lbl, cur[i])
+		if tracked {
+			g.SetProp(v, lbl, cur[i])
+		} else {
+			v.SetPropRaw(lbl, cur[i])
+		}
 		seen[cur[i]]++
 		if seen[cur[i]] > largest {
 			largest = seen[cur[i]]

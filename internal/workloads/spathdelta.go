@@ -17,6 +17,11 @@ import (
 // Dijkstra's. It backs the traversal-strategy ablation and the native
 // parallel benchmarks.
 //
+// Native relaxations scan the view's resolved Adj/AdjW arrays; the
+// tentative-distance array stays mutex-arbitrated, so the final distances
+// (the min over paths, schedule-independent) match the framework variant
+// exactly. Instrumented runs keep the original framework walk.
+//
 // opt.MaxIters bounds the bucket count scanned (default: unbounded).
 // Delta is derived from the mean edge weight, the customary heuristic.
 func SPathDelta(g *property.Graph, opt Options) (*Result, error) {
@@ -37,6 +42,7 @@ func SPathDelta(g *property.Graph, opt Options) (*Result, error) {
 	}
 	w := workers(g, opt)
 	t := g.Tracker()
+	tracked := t != nil
 
 	// Delta: mean edge weight (sampled), at least 1.
 	var wsum float64
@@ -97,6 +103,24 @@ func SPathDelta(g *property.Graph, opt Options) (*Result, error) {
 				if int(du/delta) < b {
 					return // stale entry; already settled in a lower bucket
 				}
+				if !tracked {
+					adj := vw.Adj(ui)
+					wts := vw.AdjW(ui)
+					for j, wi := range adj {
+						nd := du + wts[j]
+						mu.Lock()
+						better := nd < dist[wi]
+						if better {
+							dist[wi] = nd
+						}
+						mu.Unlock()
+						if better {
+							push(int(nd/delta), wi)
+							relaxed.Add(1)
+						}
+					}
+					return
+				}
 				u := vw.Verts[ui]
 				g.Neighbors(u, func(_ int, e *property.Edge) bool {
 					nb := g.FindVertex(e.To)
@@ -118,9 +142,7 @@ func SPathDelta(g *property.Graph, opt Options) (*Result, error) {
 					branch(t, siteRelax, better)
 					if better {
 						dSim.St(int(wi))
-						if t != nil {
-							g.SetProp(nb, distF, nd) // accounting-only on 1-thread runs
-						}
+						g.SetProp(nb, distF, nd) // accounting-only on 1-thread runs
 						push(int(nd/delta), wi)
 						relaxed.Add(1)
 					}
@@ -136,6 +158,9 @@ func SPathDelta(g *property.Graph, opt Options) (*Result, error) {
 		if !math.IsInf(dist[i], 1) {
 			settled++
 			sum += dist[i]
+			if !tracked {
+				vw.Verts[i].SetPropRaw(distF, dist[i])
+			}
 		}
 	}
 	return &Result{
