@@ -1,0 +1,48 @@
+// Command graphbig-vet runs the project's invariant analyzers over the
+// module — the compile-time counterpart of the golden parity suite. It is
+// a required CI step; run it locally with:
+//
+//	go run ./cmd/graphbig-vet ./...
+//
+// Exit status is 0 when the tree is clean, 1 when any analyzer reports a
+// finding, 2 on internal failure (package loading or type errors). See
+// DESIGN.md §7 for what each analyzer protects.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/graphbig/graphbig-go/internal/analysis"
+	"github.com/graphbig/graphbig-go/internal/analysis/atomichygiene"
+	"github.com/graphbig/graphbig-go/internal/analysis/determinism"
+	"github.com/graphbig/graphbig-go/internal/analysis/hotloop"
+	"github.com/graphbig/graphbig-go/internal/analysis/trackedprim"
+)
+
+// Analyzers returns the full registered suite, in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		determinism.Analyzer,
+		trackedprim.Analyzer,
+		hotloop.Analyzer,
+		atomichygiene.Analyzer,
+	}
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: graphbig-vet [packages]\n\nanalyzers:\n%s", analysis.Doc(Analyzers()))
+	}
+	flag.Parse()
+	n, err := analysis.Vet(os.Stdout, Analyzers(), flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphbig-vet:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "graphbig-vet: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/graphbig/graphbig-go/internal/analysis"
+)
+
+// TestAnalyzersRegistered asserts the full suite is wired into the
+// multichecker with documentation and a runner.
+func TestAnalyzersRegistered(t *testing.T) {
+	as := Analyzers()
+	want := []string{"determinism", "trackedprim", "hotloop", "atomichygiene"}
+	if len(as) != len(want) {
+		t.Fatalf("Analyzers() = %d analyzers, want %d", len(as), len(want))
+	}
+	for i, a := range as {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %s has no runner", a.Name)
+		}
+	}
+	if doc := analysis.Doc(as); doc == "" {
+		t.Error("Doc() rendered empty help text")
+	}
+}
+
+// TestVetCleanPackage runs the suite over known-clean module packages and
+// expects zero findings — the exit-0 smoke test.
+func TestVetCleanPackage(t *testing.T) {
+	var out bytes.Buffer
+	n, err := analysis.Vet(&out, Analyzers(), "./internal/stats", "./internal/csr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("Vet on clean packages reported %d finding(s):\n%s", n, out.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("Vet wrote output with zero findings:\n%s", out.String())
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"github.com/graphbig/graphbig-go/internal/core"
@@ -165,8 +166,13 @@ func runCPU(wl core.Workload, ctx *core.RunContext) {
 	}
 	el := time.Since(start)
 	fmt.Printf("%s: visited=%d checksum=%g elapsed=%s\n", res.Workload, res.Visited, res.Checksum, el.Round(time.Microsecond))
-	for k, v := range res.Stats {
-		fmt.Printf("  %s=%g\n", k, v)
+	keys := make([]string, 0, len(res.Stats))
+	for k := range res.Stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %s=%g\n", k, res.Stats[k])
 	}
 }
 

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunTest loads each fixture package from <cwd>/testdata/src/<pkgpath>,
+// applies the analyzer, and compares its findings against `// want "re"`
+// comments, the x/tools analysistest convention: every line carrying a
+// want comment must produce a diagnostic matching the quoted regular
+// expression, and every diagnostic must be claimed by a want comment.
+// Several quoted regexes may follow one want for lines with multiple
+// findings.
+func RunTest(t *testing.T, a *Analyzer, pkgpaths ...string) {
+	t.Helper()
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.TestdataRoot, err = filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkgpath := range pkgpaths {
+		pkg, err := l.LoadFixture(pkgpath)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", pkgpath, err)
+		}
+		diags, err := RunAnalyzers(pkg, []*Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkgpath, err)
+		}
+		checkWants(t, pkg, diags)
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+func checkWants(t *testing.T, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	// file:line -> pending expectations.
+	wants := map[string][]*want{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				res, err := parseWant(c.Text)
+				if err != nil {
+					t.Fatalf("%s: %v", pkg.Fset.Position(c.Pos()), err)
+				}
+				if len(res) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				wants[key] = append(wants[key], res...)
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		claimed := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matching %q", key, w.re)
+			}
+		}
+	}
+}
+
+// parseWant extracts the quoted regexes from a `// want "re" "re2"` comment
+// (nil if the comment is not a want comment).
+func parseWant(comment string) ([]*want, error) {
+	text := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(comment), "//"))
+	if !strings.HasPrefix(text, "want ") {
+		return nil, nil
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, "want"))
+	var res []*want
+	for rest != "" {
+		if rest[0] != '"' {
+			return nil, fmt.Errorf("want comment: expected quoted regexp at %q", rest)
+		}
+		end := 1
+		for end < len(rest) {
+			if rest[end] == '\\' {
+				end += 2
+				continue
+			}
+			if rest[end] == '"' {
+				break
+			}
+			end++
+		}
+		if end >= len(rest) {
+			return nil, fmt.Errorf("want comment: unterminated string in %q", rest)
+		}
+		lit, err := strconv.Unquote(rest[:end+1])
+		if err != nil {
+			return nil, fmt.Errorf("want comment: %v", err)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, fmt.Errorf("want comment: bad regexp: %v", err)
+		}
+		res = append(res, &want{re: re})
+		rest = strings.TrimSpace(rest[end+1:])
+	}
+	return res, nil
+}

@@ -1,0 +1,156 @@
+// Package atomichygiene guards the engine's race-cleanliness: push-phase
+// vertex claims are arbitrated by a single atomic compare-and-swap on the
+// distance array, and the whole design collapses if a CAS outcome is
+// dropped or a field is touched both atomically and plainly. Two rules,
+// applied to the concurrency-bearing packages (engine, concurrent,
+// workloads, mem):
+//
+//  1. A CompareAndSwap result must not be discarded. Ignoring it means
+//     the caller proceeds whether or not it won the claim — the exact bug
+//     the engine's CAS-claim protocol exists to prevent. This covers both
+//     the sync/atomic package functions and the CompareAndSwap methods on
+//     atomic.Int32/Int64/... values (and any future local type following
+//     the naming convention).
+//
+//  2. A struct field passed to a sync/atomic package-level function
+//     (atomic.LoadInt32(&s.f), atomic.AddInt64(&s.f, ...)) must never
+//     also be read or written plainly elsewhere in the package: mixing
+//     the two access modes on one field is a data race the race detector
+//     only catches when both sides happen to run concurrently under test.
+//     Fields of the atomic.XXX wrapper types are exempt — their method
+//     API is safe by construction, which is why the codebase prefers
+//     them.
+//
+// Slice elements accessed atomically (the engine's Dist array) are out of
+// scope: the push/pull phases alternate atomic and owner-partitioned
+// plain access by design, separated by barriers.
+package atomichygiene
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/graphbig/graphbig-go/internal/analysis"
+)
+
+var scope = []string{
+	"internal/engine",
+	"internal/concurrent",
+	"internal/workloads",
+	"internal/mem",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomichygiene",
+	Doc:  "forbid ignored CompareAndSwap results and mixed atomic/plain struct-field access",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.HasPathSuffix(pass.Pkg.Path(), scope...) {
+		return nil
+	}
+	checkIgnoredCAS(pass)
+	checkMixedAccess(pass)
+	return nil
+}
+
+// checkIgnoredCAS flags statement-position calls to CompareAndSwap*.
+func checkIgnoredCAS(pass *analysis.Pass) {
+	pass.Inspect(func(n ast.Node) bool {
+		stmt, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := stmt.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.Callee(pass.TypesInfo, call)
+		if fn == nil || !strings.HasPrefix(fn.Name(), "CompareAndSwap") {
+			return true
+		}
+		pass.Report(call.Pos(), "%s result ignored: the caller cannot know whether it won the claim; check the returned bool", fn.Name())
+		return true
+	})
+}
+
+// checkMixedAccess cross-references fields used via sync/atomic package
+// functions with plain selector accesses to the same field.
+func checkMixedAccess(pass *analysis.Pass) {
+	atomicUse := map[*types.Var]ast.Node{}     // field -> one atomic call site
+	atomicArgs := map[*ast.SelectorExpr]bool{} // &x.f selectors inside atomic calls
+	plainUse := map[*types.Var][]*ast.SelectorExpr{}
+
+	// Pass 1: record fields handed to sync/atomic functions.
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.Callee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || fn.Signature().Recv() != nil {
+			return true
+		}
+		for _, arg := range call.Args {
+			un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok {
+				continue
+			}
+			sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			if f := fieldVar(pass.TypesInfo, sel); f != nil {
+				atomicUse[f] = call
+				atomicArgs[sel] = true
+			}
+		}
+		return true
+	})
+	if len(atomicUse) == 0 {
+		return
+	}
+	// Pass 2: record plain accesses to those same fields.
+	pass.Inspect(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || atomicArgs[sel] {
+			return true
+		}
+		f := fieldVar(pass.TypesInfo, sel)
+		if f == nil {
+			return true
+		}
+		if _, atomic := atomicUse[f]; atomic {
+			plainUse[f] = append(plainUse[f], sel)
+		}
+		return true
+	})
+	for f, sels := range plainUse {
+		for _, sel := range sels {
+			at := pass.Fset.Position(atomicUse[f].Pos())
+			pass.Report(sel.Pos(), "field %s is accessed with sync/atomic at %s:%d but plainly here; pick one memory model (prefer the atomic wrapper types)",
+				f.Name(), at.Filename, at.Line)
+		}
+	}
+}
+
+// fieldVar resolves sel to a struct field of non-atomic type, or nil.
+func fieldVar(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	f, ok := selection.Obj().(*types.Var)
+	if !ok || !f.IsField() {
+		return nil
+	}
+	// Fields of the atomic wrapper types are safe by construction.
+	if named, ok := f.Type().(*types.Named); ok {
+		if p := named.Obj().Pkg(); p != nil && p.Path() == "sync/atomic" {
+			return nil
+		}
+	}
+	return f
+}

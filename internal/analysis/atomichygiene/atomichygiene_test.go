@@ -1,0 +1,12 @@
+package atomichygiene_test
+
+import (
+	"testing"
+
+	"github.com/graphbig/graphbig-go/internal/analysis"
+	"github.com/graphbig/graphbig-go/internal/analysis/atomichygiene"
+)
+
+func TestAtomicHygiene(t *testing.T) {
+	analysis.RunTest(t, atomichygiene.Analyzer, "internal/concurrent", "internal/other")
+}

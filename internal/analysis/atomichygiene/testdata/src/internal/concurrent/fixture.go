@@ -1,0 +1,62 @@
+// Fixture for the atomichygiene analyzer: internal/concurrent is in
+// scope for both the ignored-CAS and mixed-access rules.
+package concurrent
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	safe atomic.Int64
+}
+
+// bump establishes n as an atomically-accessed field.
+func (c *counter) bump() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+// Positive: plain read of a field that is elsewhere accessed atomically.
+func (c *counter) read() int64 {
+	return c.n // want "field n is accessed with sync/atomic"
+}
+
+// Positive: plain write of the same field.
+func (c *counter) reset() {
+	c.n = 0 // want "field n is accessed with sync/atomic"
+}
+
+// Positive: a dropped CAS result — the caller cannot know if it won.
+func casIgnored(p *int32) {
+	atomic.CompareAndSwapInt32(p, 0, 1) // want "CompareAndSwapInt32 result ignored"
+}
+
+// Positive: the method form on a wrapper type is caught too.
+func casIgnoredMethod(c *counter) {
+	c.safe.CompareAndSwap(0, 1) // want "CompareAndSwap result ignored"
+}
+
+// Negative: a consumed CAS result is the intended protocol.
+func casChecked(p *int32) bool {
+	for {
+		old := atomic.LoadInt32(p)
+		if old >= 1 {
+			return false
+		}
+		if atomic.CompareAndSwapInt32(p, old, 1) {
+			return true
+		}
+	}
+}
+
+// Negative: atomic wrapper-type fields are safe by construction.
+func wrapperOnly(c *counter) int64 {
+	c.safe.Store(3)
+	return c.safe.Load()
+}
+
+// Negative: a field accessed only plainly has one memory model.
+type plain struct{ x int64 }
+
+func (p *plain) touch() int64 {
+	p.x++
+	return p.x
+}

@@ -1,0 +1,9 @@
+// Fixture for the atomichygiene analyzer: internal/other is out of
+// scope, so a dropped CAS here is not reported.
+package other
+
+import "sync/atomic"
+
+func unscoped(p *int32) {
+	atomic.CompareAndSwapInt32(p, 0, 1)
+}

@@ -1,0 +1,16 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"github.com/graphbig/graphbig-go/internal/analysis"
+	"github.com/graphbig/graphbig-go/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysis.RunTest(t, determinism.Analyzer,
+		"internal/perfmon", // parity scope: all three rules
+		"cmd/graphbig",     // output scope: map-iteration rule only
+		"internal/other",   // out of scope: silent
+	)
+}

@@ -1,0 +1,21 @@
+// Fixture for the determinism analyzer: cmd/graphbig is output scope —
+// printed output must be stable, but wall-clock measurement is its job.
+package main
+
+import "time"
+
+// Positive: maps must be printed in sorted-key order.
+func printOrder(m map[string]float64) []string {
+	var out []string
+	for k, v := range m { // want "range over map is nondeterministically ordered"
+		_ = v
+		out = append(out, k)
+	}
+	return out
+}
+
+// Negative: timing a run is what an output package is for.
+func elapsed() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

@@ -1,0 +1,14 @@
+// Fixture for the determinism analyzer: internal/other is in neither
+// scope, so nothing here may be reported.
+package other
+
+import "time"
+
+func unscoped(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	_ = time.Now()
+	return s
+}

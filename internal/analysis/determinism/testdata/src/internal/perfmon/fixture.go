@@ -1,0 +1,52 @@
+// Fixture for the determinism analyzer: internal/perfmon is in the
+// parity scope, so all three rules apply.
+package perfmon
+
+import (
+	"math/rand/v2"
+	"sort"
+	"time"
+)
+
+// Positive: map iteration order changes per run.
+func rangeMap(m map[string]int) int {
+	s := 0
+	for _, v := range m { // want "range over map is nondeterministically ordered"
+		s += v
+	}
+	return s
+}
+
+// Positive: wall-clock reads and the global rand source.
+func clockAndRand() float64 {
+	t := time.Now() // want "time.Now in a parity-critical package"
+	_ = t
+	return rand.Float64() // want "global math/rand source is unseeded"
+}
+
+// Negative: the key-collection idiom is exempt — the result is
+// order-insensitive once sorted, and it is the rewrite the diagnostic
+// asks for.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Negative: explicitly seeded generators are the sanctioned source.
+func seeded(seed uint64) float64 {
+	r := rand.New(rand.NewPCG(seed, 1))
+	return r.Float64()
+}
+
+// Negative: ranging a slice is ordered.
+func rangeSlice(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HasPathSuffix reports whether pkgpath equals one of suffixes or ends with
+// "/"+suffix. Analyzer scopes are expressed as module-relative suffixes
+// ("internal/perfmon") so that both the real module packages and the
+// GOPATH-style analysistest fixtures (whose import path IS the suffix)
+// match the same rule.
+func HasPathSuffix(pkgpath string, suffixes ...string) bool {
+	for _, s := range suffixes {
+		if pkgpath == s || strings.HasSuffix(pkgpath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Callee resolves the function or method called by call, or nil for
+// builtins, conversions and calls of non-identifier expressions.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// IsMap reports whether e's type is (an alias of) a map.
+func IsMap(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// NamedIn reports whether t (after stripping pointers) is the named type
+// typeName declared in a package whose path matches pkgSuffix per
+// HasPathSuffix.
+func NamedIn(t types.Type, typeName, pkgSuffix string) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != typeName || obj.Pkg() == nil {
+		return false
+	}
+	return HasPathSuffix(obj.Pkg().Path(), pkgSuffix)
+}

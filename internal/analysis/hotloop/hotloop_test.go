@@ -1,0 +1,12 @@
+package hotloop_test
+
+import (
+	"testing"
+
+	"github.com/graphbig/graphbig-go/internal/analysis"
+	"github.com/graphbig/graphbig-go/internal/analysis/hotloop"
+)
+
+func TestHotLoop(t *testing.T) {
+	analysis.RunTest(t, hotloop.Analyzer, "internal/engine", "internal/other")
+}

@@ -1,0 +1,91 @@
+// Fixture for the hotloop analyzer: internal/engine inner loops must
+// stay free of hash probes, allocations and dynamic dispatch.
+package engine
+
+// Positive: per-edge map probe at depth 2.
+func hotMapIndex(adj [][]int32, deg map[int32]int) int {
+	s := 0
+	for _, row := range adj {
+		for _, w := range row {
+			s += deg[w] // want "map indexing in a nested hot loop"
+		}
+	}
+	return s
+}
+
+// Positive: map iteration nested inside a loop.
+func hotMapRange(adj [][]int32, m map[int32]int) int {
+	s := 0
+	for range adj {
+		for k := range m { // want "map iteration in a nested hot loop"
+			s += int(k)
+		}
+	}
+	return s
+}
+
+// Positive: per-edge allocation.
+func hotAlloc(adj [][]int32) [][]byte {
+	var bufs [][]byte
+	for _, row := range adj {
+		for range row {
+			bufs = append(bufs, make([]byte, 8)) // want "allocation in a nested hot loop"
+		}
+	}
+	return bufs
+}
+
+// Positive: closures inherit the enclosing depth — engine ForItems
+// bodies run once per work item.
+func hotClosure(items []int32, deg map[int32]int, forEach func(func(int))) int {
+	s := 0
+	for range items {
+		forEach(func(k int) {
+			for _, w := range items {
+				s += deg[w] // want "map indexing in a nested hot loop"
+			}
+			_ = k
+		})
+	}
+	return s
+}
+
+// Positive: boxing and dynamic checks per edge.
+func hotIface(rows [][]int32, vals [][]any, sink func(any)) int {
+	s := 0
+	for _, row := range rows {
+		for _, w := range row {
+			sink(any(w)) // want "conversion to an interface in a nested hot loop"
+		}
+	}
+	for _, row := range vals {
+		for _, v := range row {
+			if w, ok := v.(int); ok { // want "type assertion in a nested hot loop"
+				s += w
+			}
+		}
+	}
+	return s
+}
+
+// Negative: depth-1 (per-vertex, per-round) work is amortized and exempt.
+func perRoundSetup(rows [][]int32, deg map[int32]int) []int {
+	out := make([]int, 0, len(rows))
+	for i := range rows {
+		buf := make([]int, 0, len(rows[i]))
+		out = append(out, deg[int32(i)])
+		_ = buf
+	}
+	return out
+}
+
+// Negative: nested loops over flat CSR slices are the intended shape.
+func csrWalk(off []int32, nbr []int32) int64 {
+	var s int64
+	for i := 0; i+1 < len(off); i++ {
+		for _, w := range nbr[off[i]:off[i+1]] {
+			s += int64(w)
+		}
+	}
+	return s
+}

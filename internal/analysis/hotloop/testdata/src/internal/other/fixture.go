@@ -1,0 +1,13 @@
+// Fixture for the hotloop analyzer: internal/other is out of scope, so
+// per-edge map probes here are not reported.
+package other
+
+func unscoped(rows [][]int32, deg map[int32]int) int {
+	s := 0
+	for _, row := range rows {
+		for _, w := range row {
+			s += deg[w]
+		}
+	}
+	return s
+}

@@ -1,0 +1,265 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Loader parses and type-checks packages without any network access: import
+// paths are resolved by the local go command (`go list`), and every package
+// — standard library included — is type-checked from source in dependency
+// order. This is the same strategy as go/internal/srcimporter and costs a
+// few seconds for the std closure, which is acceptable for a vet tool.
+type Loader struct {
+	// ModuleRoot is the directory containing go.mod; `go list` runs there.
+	ModuleRoot string
+	// TestdataRoot, when set, resolves import paths to fixture directories
+	// (TestdataRoot/<import path>) before consulting `go list`, mirroring
+	// the x/tools analysistest GOPATH-style testdata/src layout.
+	TestdataRoot string
+
+	fset   *token.FileSet
+	pkgs   map[string]*types.Package // fully checked, by import path
+	loaded map[string]*Package       // parsed+checked result, by import path
+	meta   map[string]*listedPkg     // `go list` results, by import path
+}
+
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+}
+
+// NewLoader returns a loader rooted at the enclosing module of dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Loader{
+		ModuleRoot: root,
+		fset:       token.NewFileSet(),
+		pkgs:       map[string]*types.Package{},
+		loaded:     map[string]*Package{},
+		meta:       map[string]*listedPkg{},
+	}, nil
+}
+
+func findModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// goList runs `go list -deps -json` for patterns and records the results
+// (dependency order) in l.meta, returning the listed import paths in order.
+func (l *Loader) goList(patterns ...string) ([]string, error) {
+	args := append([]string{"list", "-deps", "-json=ImportPath,Dir,GoFiles,Imports,Standard"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.ModuleRoot
+	// Pure-Go file lists: cgo-free std variants type-check from source.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	var order []string
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		var p listedPkg
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("go list: decoding: %v", err)
+		}
+		if _, ok := l.meta[p.ImportPath]; !ok {
+			l.meta[p.ImportPath] = &p
+		}
+		order = append(order, p.ImportPath)
+	}
+	return order, nil
+}
+
+// Load lists patterns (e.g. "./..."), type-checks the full dependency
+// closure, and returns the non-standard-library packages in a stable
+// (import path) order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	order, err := l.goList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var res []*Package
+	seen := map[string]bool{}
+	for _, path := range order {
+		pkg, err := l.checkListed(path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil && !l.meta[path].Standard && !seen[path] {
+			seen[path] = true
+			res = append(res, pkg)
+		}
+	}
+	sort.Slice(res, func(i, j int) bool { return res[i].PkgPath < res[j].PkgPath })
+	return res, nil
+}
+
+// checkListed type-checks one `go list`-ed package (deps must already be
+// checked; Load iterates in dependency order, and Import falls back to an
+// on-demand go list for anything missed). Returns nil for "unsafe".
+func (l *Loader) checkListed(path string) (*Package, error) {
+	if path == "unsafe" {
+		l.pkgs[path] = types.Unsafe
+		return nil, nil
+	}
+	if pkg, done := l.loaded[path]; done {
+		return pkg, nil
+	}
+	if _, done := l.pkgs[path]; done {
+		return nil, nil // checked as a bare types.Package (no syntax kept)
+	}
+	m, ok := l.meta[path]
+	if !ok {
+		return nil, fmt.Errorf("analysis: package %s not listed", path)
+	}
+	files := make([]string, len(m.GoFiles))
+	for i, f := range m.GoFiles {
+		files[i] = filepath.Join(m.Dir, f)
+	}
+	return l.check(path, m.Dir, files)
+}
+
+// LoadFixture parses and type-checks the fixture package at
+// TestdataRoot/<pkgpath>, resolving its imports against fixture siblings,
+// the enclosing module, and the standard library.
+func (l *Loader) LoadFixture(pkgpath string) (*Package, error) {
+	if l.TestdataRoot == "" {
+		return nil, fmt.Errorf("analysis: loader has no TestdataRoot")
+	}
+	if pkg, ok := l.loaded[pkgpath]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.TestdataRoot, pkgpath)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if n := e.Name(); strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			files = append(files, filepath.Join(dir, n))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	return l.check(pkgpath, dir, files)
+}
+
+// check parses files and type-checks them as package path.
+func (l *Loader) check(path, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(l.fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	l.pkgs[path] = tpkg
+	pkg := &Package{
+		PkgPath:   path,
+		Dir:       dir,
+		Fset:      l.fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	l.loaded[path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer. It serves already-checked packages and
+// otherwise resolves path through fixtures or `go list` on demand.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	// Fixture sibling?
+	if l.TestdataRoot != "" {
+		if st, err := os.Stat(filepath.Join(l.TestdataRoot, path)); err == nil && st.IsDir() {
+			if _, err := l.LoadFixture(path); err != nil {
+				return nil, err
+			}
+			return l.pkgs[path], nil
+		}
+	}
+	// Module or standard-library package: list its closure and check the
+	// parts not seen yet, dependency-first.
+	order, err := l.goList(path)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range order {
+		if _, err := l.checkListed(p); err != nil {
+			return nil, err
+		}
+	}
+	pkg, ok := l.pkgs[path]
+	if !ok {
+		return nil, fmt.Errorf("analysis: import %q did not resolve", path)
+	}
+	return pkg, nil
+}

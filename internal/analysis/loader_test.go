@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+// TestLoadModulePackage type-checks a real module package from source and
+// verifies the Pass sees resolved type information.
+func TestLoadModulePackage(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./internal/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Load(./internal/stats) = %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if !strings.HasSuffix(pkg.PkgPath, "internal/stats") {
+		t.Errorf("PkgPath = %q, want suffix internal/stats", pkg.PkgPath)
+	}
+	if pkg.Types == nil || pkg.Types.Scope().Len() == 0 {
+		t.Fatal("package has no type information")
+	}
+	if pkg.TypesInfo == nil || len(pkg.TypesInfo.Defs) == 0 {
+		t.Fatal("package has no defs recorded")
+	}
+	if len(pkg.Files) == 0 {
+		t.Fatal("package has no parsed files")
+	}
+}
+
+// TestLoadDepsClosure verifies ./... loads every module package with its
+// imports resolved in dependency order.
+func TestLoadDepsClosure(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("Load(./...) = %d packages, want at least 20", len(pkgs))
+	}
+	seen := map[string]bool{}
+	for _, p := range pkgs {
+		if seen[p.PkgPath] {
+			t.Errorf("package %s listed twice", p.PkgPath)
+		}
+		seen[p.PkgPath] = true
+	}
+	for _, want := range []string{"internal/engine", "internal/workloads", "internal/property"} {
+		found := false
+		for _, p := range pkgs {
+			if strings.HasSuffix(p.PkgPath, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("Load(./...) missing %s", want)
+		}
+	}
+}
+
+// TestRunAnalyzersSortsDiagnostics verifies diagnostics come back in
+// positional order regardless of analyzer-internal map iteration.
+func TestRunAnalyzersSortsDiagnostics(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./internal/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportAll := &Analyzer{
+		Name: "reportall",
+		Doc:  "report every function declaration (test helper)",
+		Run: func(pass *Pass) error {
+			// Walk files in reverse to prove Report order is normalized.
+			for i := len(pass.Files) - 1; i >= 0; i-- {
+				ast.Inspect(pass.Files[i], func(n ast.Node) bool {
+					if fd, ok := n.(*ast.FuncDecl); ok {
+						pass.Report(fd.Pos(), "func %s", fd.Name.Name)
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+	diags, err := RunAnalyzers(pkgs[0], []*Analyzer{reportAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics from reportall")
+	}
+	for i := 1; i < len(diags); i++ {
+		if diags[i].Pos < diags[i-1].Pos {
+			t.Fatalf("diagnostics out of order at %d", i)
+		}
+	}
+}

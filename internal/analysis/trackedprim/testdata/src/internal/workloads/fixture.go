@@ -1,0 +1,56 @@
+// Fixture for the trackedprim analyzer: instrumented (Tracked) paths
+// must not read the View's resolved CSR arrays.
+package workloads
+
+import "github.com/graphbig/graphbig-go/internal/property"
+
+// spec mirrors the engine.Spec shape the analyzer keys on.
+type spec struct {
+	TrackedVisit func(int32)
+}
+
+// Positive: Tracked-suffixed functions are instrumented paths.
+func degreeSumTracked(vw *property.View) int64 {
+	var s int64
+	for i := 0; i < vw.Len(); i++ {
+		s += int64(vw.Degree(int32(i))) // want "raw View.Degree access inside an instrumented path"
+	}
+	return s
+}
+
+// Positive: a function literal assigned to a TrackedVisit field.
+func buildSpec(vw *property.View) spec {
+	var sp spec
+	sp.TrackedVisit = func(i int32) {
+		for range vw.Adj(i) { // want "raw View.Adj access inside an instrumented path"
+		}
+	}
+	return sp
+}
+
+// Positive: the composite-literal form, and a raw field read.
+func literalSpec(vw *property.View) spec {
+	return spec{
+		TrackedVisit: func(i int32) {
+			_ = len(vw.Nbr) // want "raw View.Nbr access inside an instrumented path"
+		},
+	}
+}
+
+// Negative: native (untracked) kernels are built on the resolved arrays.
+func degreeSumNative(vw *property.View) int64 {
+	var s int64
+	for i := 0; i < vw.Len(); i++ {
+		s += int64(vw.Degree(int32(i)))
+	}
+	return s
+}
+
+// Negative: index bookkeeping (Verts, Len, IndexOf) is allowed inside
+// instrumented paths — it is arithmetic, not a simulated memory access.
+func indexLookupTracked(vw *property.View) int32 {
+	if vw.Len() == 0 {
+		return -1
+	}
+	return vw.IndexOf(vw.Verts[0].ID)
+}

@@ -1,0 +1,97 @@
+// Package trackedprim protects framework-primitive accounting parity
+// (GraphBIG §4.1, the 100-record golden suite): inside an instrumented
+// workload path, every graph access must flow through the tracked
+// framework primitives (Graph.Neighbors / FindVertex / GetProp / SetProp
+// and friends) so that the mem.Tracker observes it. Reading the
+// property.View's resolved CSR arrays (Adj/AdjW/InAdj/Degree/EdgeTotal or
+// the Nbr/NbrOff/NbrW/InOff/InNbr fields) bypasses the tracker entirely —
+// the traversal still computes the right answer while silently producing
+// the wrong simulated event stream, which no functional test catches.
+//
+// Instrumented paths are identified lexically, matching the codebase's
+// convention for splitting native and instrumented code:
+//
+//   - functions whose name ends in "Tracked" (spathTracked, kcoreTracked,
+//     bcentrTracked, gcolorTracked, bfsDirOptTracked, ...);
+//   - function literals assigned to a TrackedVisit field (the engine's
+//     instrumented per-frontier-item callback), whether in a composite
+//     literal or by assignment.
+//
+// View.Verts, Len and IndexOf remain allowed: mapping a dense index back
+// to its *property.Vertex is index arithmetic, not a simulated memory
+// access, and the legacy implementations did the same.
+package trackedprim
+
+import (
+	"go/ast"
+	"strings"
+
+	"github.com/graphbig/graphbig-go/internal/analysis"
+)
+
+var scope = []string{"internal/workloads"}
+
+// banned lists the View methods and fields that read resolved CSR
+// adjacency without tracker accounting.
+var banned = map[string]bool{
+	"Adj": true, "AdjW": true, "InAdj": true, "Degree": true, "EdgeTotal": true,
+	"Nbr": true, "NbrOff": true, "NbrW": true, "InOff": true, "InNbr": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "trackedprim",
+	Doc:  "forbid raw property.View CSR access inside instrumented (tracked) workload paths",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.HasPathSuffix(pass.Pkg.Path(), scope...) {
+		return nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil && strings.HasSuffix(n.Name.Name, "Tracked") {
+				checkTrackedBody(pass, n.Body)
+				return false
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				lit, ok := rhs.(*ast.FuncLit)
+				if !ok || i >= len(n.Lhs) {
+					continue
+				}
+				if sel, ok := n.Lhs[i].(*ast.SelectorExpr); ok && sel.Sel.Name == "TrackedVisit" {
+					checkTrackedBody(pass, lit.Body)
+				}
+			}
+		case *ast.KeyValueExpr:
+			if key, ok := n.Key.(*ast.Ident); ok && key.Name == "TrackedVisit" {
+				if lit, ok := n.Value.(*ast.FuncLit); ok {
+					checkTrackedBody(pass, lit.Body)
+				}
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// checkTrackedBody flags every banned View selection in an instrumented
+// body, including nested function literals (Neighbors callbacks).
+func checkTrackedBody(pass *analysis.Pass, body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || !banned[sel.Sel.Name] {
+			return true
+		}
+		selection, ok := pass.TypesInfo.Selections[sel]
+		if !ok {
+			return true
+		}
+		if analysis.NamedIn(selection.Recv(), "View", "internal/property") {
+			pass.Report(sel.Pos(), "raw View.%s access inside an instrumented path bypasses tracker accounting; walk Graph.Neighbors/FindVertex/GetProp instead", sel.Sel.Name)
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package trackedprim_test
+
+import (
+	"testing"
+
+	"github.com/graphbig/graphbig-go/internal/analysis"
+	"github.com/graphbig/graphbig-go/internal/analysis/trackedprim"
+)
+
+func TestTrackedPrim(t *testing.T) {
+	analysis.RunTest(t, trackedprim.Analyzer, "internal/workloads")
+}

@@ -101,14 +101,23 @@ func GColor(g *property.Graph, opt Options) (*Result, error) {
 				c++
 			}
 			if overflow && c >= 64 {
-				// Rare dense-neighborhood fallback: rescan for exact set.
-				used := make(map[int64]bool)
+				// Rare dense-neighborhood fallback: rescan into a widened
+				// bitset (colors are dense, so the set stays small).
+				var wide []uint64
 				for _, wi := range vw.Adj(vi) {
 					if cc := colors[wi]; cc >= 0 {
-						used[cc] = true
+						word := int(cc >> 6)
+						for word >= len(wide) {
+							wide = append(wide, 0)
+						}
+						wide[word] |= 1 << uint(cc&63)
 					}
 				}
-				for c = 64; used[c]; c++ {
+				for c = 64; ; c++ {
+					word := int(c >> 6)
+					if word >= len(wide) || wide[word]&(1<<uint(c&63)) == 0 {
+						break
+					}
 				}
 			}
 			colors[vi] = c

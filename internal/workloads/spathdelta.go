@@ -66,11 +66,24 @@ func SPathDelta(g *property.Graph, opt Options) (*Result, error) {
 		dist[i] = inf
 	}
 	var mu sync.Mutex
-	buckets := map[int][]int32{}
+	var buckets [][]int32 // dense bucket array indexed by floor(dist/delta)
+	high := 0             // highest bucket index ever pushed
 	push := func(b int, i int32) {
 		mu.Lock()
+		for b >= len(buckets) {
+			buckets = append(buckets, nil)
+		}
 		buckets[b] = append(buckets[b], i)
+		if b > high {
+			high = b
+		}
 		mu.Unlock()
+	}
+	curHigh := func() int {
+		mu.Lock()
+		h := high
+		mu.Unlock()
+		return h
 	}
 	dSim := newSimArr(g, n, 8)
 
@@ -85,17 +98,23 @@ func SPathDelta(g *property.Graph, opt Options) (*Result, error) {
 	if maxBucket <= 0 {
 		maxBucket = math.MaxInt32
 	}
-	for b := 0; b <= bucketHigh(buckets) && bucketsDone < maxBucket; b++ {
-		if len(buckets[b]) == 0 {
+	for b := 0; b <= curHigh() && bucketsDone < maxBucket; b++ {
+		mu.Lock()
+		empty := b >= len(buckets) || len(buckets[b]) == 0
+		mu.Unlock()
+		if empty {
 			continue
 		}
 		bucketsDone++
 		// Drain bucket b: settled entries may be re-added by light edges.
-		for len(buckets[b]) > 0 {
+		for {
 			mu.Lock()
 			work := buckets[b]
 			buckets[b] = nil
 			mu.Unlock()
+			if len(work) == 0 {
+				break
+			}
 			concurrent.ParallelItems(len(work), w, 32, func(k int) {
 				ui := work[k]
 				dSim.Ld(int(ui))
@@ -180,14 +199,4 @@ func loadDist(mu *sync.Mutex, dist []float64, i int32) float64 {
 	d := dist[i]
 	mu.Unlock()
 	return d
-}
-
-func bucketHigh(b map[int][]int32) int {
-	hi := 0
-	for k, v := range b {
-		if len(v) > 0 && k > hi {
-			hi = k
-		}
-	}
-	return hi
 }
