@@ -4,6 +4,13 @@
 //
 //	go run ./cmd/graphbig-vet ./...
 //
+// The suite has two layers: per-package analyzers (determinism,
+// trackedprim, hotloop, atomichygiene) and module analyzers (escape,
+// lockset, purity) that build a call graph over every loaded package and
+// reason across function and package boundaries. With -json, findings are
+// emitted as a JSON array of {file,line,col,analyzer,message} records
+// instead of text — the format CI uploads as annotations.
+//
 // Exit status is 0 when the tree is clean, 1 when any analyzer reports a
 // finding, 2 on internal failure (package loading or type errors). See
 // DESIGN.md §7 for what each analyzer protects.
@@ -17,26 +24,38 @@ import (
 	"github.com/graphbig/graphbig-go/internal/analysis"
 	"github.com/graphbig/graphbig-go/internal/analysis/atomichygiene"
 	"github.com/graphbig/graphbig-go/internal/analysis/determinism"
+	"github.com/graphbig/graphbig-go/internal/analysis/escape"
 	"github.com/graphbig/graphbig-go/internal/analysis/hotloop"
+	"github.com/graphbig/graphbig-go/internal/analysis/lockset"
+	"github.com/graphbig/graphbig-go/internal/analysis/purity"
 	"github.com/graphbig/graphbig-go/internal/analysis/trackedprim"
 )
 
-// Analyzers returns the full registered suite, in reporting order.
+// Analyzers returns the full registered suite, in reporting order:
+// per-package analyzers first, then the interprocedural module analyzers.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		determinism.Analyzer,
 		trackedprim.Analyzer,
 		hotloop.Analyzer,
 		atomichygiene.Analyzer,
+		escape.Analyzer,
+		lockset.Analyzer,
+		purity.Analyzer,
 	}
 }
 
 func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array of {file,line,col,analyzer,message}")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: graphbig-vet [packages]\n\nanalyzers:\n%s", analysis.Doc(Analyzers()))
+		fmt.Fprintf(os.Stderr, "usage: graphbig-vet [-json] [packages]\n\nanalyzers:\n%s", analysis.Doc(Analyzers()))
 	}
 	flag.Parse()
-	n, err := analysis.Vet(os.Stdout, Analyzers(), flag.Args()...)
+	vet := analysis.Vet
+	if *jsonOut {
+		vet = analysis.VetJSON
+	}
+	n, err := vet(os.Stdout, Analyzers(), flag.Args()...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "graphbig-vet:", err)
 		os.Exit(2)

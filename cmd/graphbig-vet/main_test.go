@@ -2,19 +2,21 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"testing"
 
 	"github.com/graphbig/graphbig-go/internal/analysis"
 )
 
 // TestAnalyzersRegistered asserts the full suite is wired into the
-// multichecker with documentation and a runner.
+// multichecker with documentation and a runner (per-package or module).
 func TestAnalyzersRegistered(t *testing.T) {
 	as := Analyzers()
-	want := []string{"determinism", "trackedprim", "hotloop", "atomichygiene"}
+	want := []string{"determinism", "trackedprim", "hotloop", "atomichygiene", "escape", "lockset", "purity"}
 	if len(as) != len(want) {
 		t.Fatalf("Analyzers() = %d analyzers, want %d", len(as), len(want))
 	}
+	module := map[string]bool{"escape": true, "lockset": true, "purity": true}
 	for i, a := range as {
 		if a.Name != want[i] {
 			t.Errorf("analyzer %d = %q, want %q", i, a.Name, want[i])
@@ -22,7 +24,11 @@ func TestAnalyzersRegistered(t *testing.T) {
 		if a.Doc == "" {
 			t.Errorf("analyzer %s has no doc", a.Name)
 		}
-		if a.Run == nil {
+		if module[a.Name] {
+			if a.RunModule == nil {
+				t.Errorf("analyzer %s should be module-scoped", a.Name)
+			}
+		} else if a.Run == nil {
 			t.Errorf("analyzer %s has no runner", a.Name)
 		}
 	}
@@ -44,5 +50,25 @@ func TestVetCleanPackage(t *testing.T) {
 	}
 	if out.Len() != 0 {
 		t.Fatalf("Vet wrote output with zero findings:\n%s", out.String())
+	}
+}
+
+// TestVetJSONCleanPackage: -json must emit a well-formed (empty) array on
+// a clean tree, never null — CI pipes it straight into jq.
+func TestVetJSONCleanPackage(t *testing.T) {
+	var out bytes.Buffer
+	n, err := analysis.VetJSON(&out, Analyzers(), "./internal/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("VetJSON on a clean package reported %d finding(s):\n%s", n, out.String())
+	}
+	var finds []analysis.Finding
+	if err := json.Unmarshal(out.Bytes(), &finds); err != nil {
+		t.Fatalf("VetJSON wrote invalid JSON: %v\n%s", err, out.String())
+	}
+	if finds == nil {
+		t.Fatalf("VetJSON wrote null, want []: %s", out.String())
 	}
 }

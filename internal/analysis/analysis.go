@@ -42,6 +42,10 @@ type Analyzer struct {
 	// pass.Report. The returned error aborts the whole vet run (reserved
 	// for internal failures, not findings).
 	Run func(pass *Pass) error
+	// RunModule, when set instead of Run, applies the analyzer once to
+	// the whole set of analyzed packages — the entry point for
+	// interprocedural analyzers that need the module call graph.
+	RunModule func(mp *ModulePass) error
 }
 
 // Pass carries one analyzed package to an Analyzer.Run. The fields mirror
@@ -84,6 +88,9 @@ func (p *Pass) Inspect(fn func(ast.Node) bool) {
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue // module-scoped analyzer; see RunModuleAnalyzers
+		}
 		pass := &Pass{
 			Analyzer:    a,
 			Fset:        pkg.Fset,

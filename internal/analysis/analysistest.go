@@ -2,8 +2,11 @@ package analysis
 
 import (
 	"fmt"
+	"go/ast"
+	"go/token"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -16,6 +19,14 @@ import (
 // expression, and every diagnostic must be claimed by a want comment.
 // Several quoted regexes may follow one want for lines with multiple
 // findings.
+//
+// Per-package analyzers (Run set) are applied to each fixture package in
+// turn. Module analyzers (RunModule set) are applied once to a Module
+// holding every loaded package — the named fixtures, fixture siblings
+// pulled in through imports, and any real module packages the fixtures
+// import — and the want comments of every fixture package (siblings
+// included) are checked, so a fixture can demonstrate caller-side
+// reporting of a violation that lives only in an imported helper.
 func RunTest(t *testing.T, a *Analyzer, pkgpaths ...string) {
 	t.Helper()
 	l, err := NewLoader(".")
@@ -26,6 +37,10 @@ func RunTest(t *testing.T, a *Analyzer, pkgpaths ...string) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if a.RunModule != nil {
+		runModuleTest(t, l, a, pkgpaths)
+		return
+	}
 	for _, pkgpath := range pkgpaths {
 		pkg, err := l.LoadFixture(pkgpath)
 		if err != nil {
@@ -35,8 +50,39 @@ func RunTest(t *testing.T, a *Analyzer, pkgpaths ...string) {
 		if err != nil {
 			t.Fatalf("running %s on %s: %v", a.Name, pkgpath, err)
 		}
-		checkWants(t, pkg, diags)
+		checkWants(t, pkg.Fset, pkg.Files, diags)
 	}
+}
+
+func runModuleTest(t *testing.T, l *Loader, a *Analyzer, pkgpaths []string) {
+	t.Helper()
+	for _, pkgpath := range pkgpaths {
+		if _, err := l.LoadFixture(pkgpath); err != nil {
+			t.Fatalf("loading fixture %s: %v", pkgpath, err)
+		}
+	}
+	// Every package with syntax participates in the module (the call
+	// graph needs the real module callees too); want comments are checked
+	// only in fixture files.
+	var pkgs []*Package
+	var fixtureFiles []*ast.File
+	var fset *token.FileSet
+	for _, pkg := range l.loaded {
+		pkgs = append(pkgs, pkg)
+		fset = pkg.Fset
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.FileStart).Filename
+			if strings.HasPrefix(name, l.TestdataRoot+string(filepath.Separator)) {
+				fixtureFiles = append(fixtureFiles, f)
+			}
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
+	diags, err := RunModuleAnalyzers(NewModule(pkgs), []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	checkWants(t, fset, fixtureFiles, diags)
 }
 
 type want struct {
@@ -44,28 +90,28 @@ type want struct {
 	matched bool
 }
 
-func checkWants(t *testing.T, pkg *Package, diags []Diagnostic) {
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []Diagnostic) {
 	t.Helper()
 	// file:line -> pending expectations.
 	wants := map[string][]*want{}
-	for _, f := range pkg.Files {
+	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				res, err := parseWant(c.Text)
 				if err != nil {
-					t.Fatalf("%s: %v", pkg.Fset.Position(c.Pos()), err)
+					t.Fatalf("%s: %v", fset.Position(c.Pos()), err)
 				}
 				if len(res) == 0 {
 					continue
 				}
-				pos := pkg.Fset.Position(c.Pos())
+				pos := fset.Position(c.Pos())
 				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
 				wants[key] = append(wants[key], res...)
 			}
 		}
 	}
 	for _, d := range diags {
-		pos := pkg.Fset.Position(d.Pos)
+		pos := fset.Position(d.Pos)
 		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
 		claimed := false
 		for _, w := range wants[key] {
@@ -79,8 +125,13 @@ func checkWants(t *testing.T, pkg *Package, diags []Diagnostic) {
 			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
 		}
 	}
-	for key, ws := range wants {
-		for _, w := range ws {
+	keys := make([]string, 0, len(wants))
+	for key := range wants {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		for _, w := range wants[key] {
 			if !w.matched {
 				t.Errorf("%s: no diagnostic matching %q", key, w.re)
 			}
@@ -98,16 +149,17 @@ func parseWant(comment string) ([]*want, error) {
 	rest := strings.TrimSpace(strings.TrimPrefix(text, "want"))
 	var res []*want
 	for rest != "" {
-		if rest[0] != '"' {
+		quote := rest[0]
+		if quote != '"' && quote != '`' {
 			return nil, fmt.Errorf("want comment: expected quoted regexp at %q", rest)
 		}
 		end := 1
 		for end < len(rest) {
-			if rest[end] == '\\' {
+			if quote == '"' && rest[end] == '\\' {
 				end += 2
 				continue
 			}
-			if rest[end] == '"' {
+			if rest[end] == quote {
 				break
 			}
 			end++

@@ -102,7 +102,7 @@ func checkMixedAccess(pass *analysis.Pass) {
 			if !ok {
 				continue
 			}
-			if f := fieldVar(pass.TypesInfo, sel); f != nil {
+			if f := analysis.FieldOf(pass.TypesInfo, sel); f != nil {
 				atomicUse[f] = call
 				atomicArgs[sel] = true
 			}
@@ -118,7 +118,7 @@ func checkMixedAccess(pass *analysis.Pass) {
 		if !ok || atomicArgs[sel] {
 			return true
 		}
-		f := fieldVar(pass.TypesInfo, sel)
+		f := analysis.FieldOf(pass.TypesInfo, sel)
 		if f == nil {
 			return true
 		}
@@ -134,23 +134,4 @@ func checkMixedAccess(pass *analysis.Pass) {
 				f.Name(), at.Filename, at.Line)
 		}
 	}
-}
-
-// fieldVar resolves sel to a struct field of non-atomic type, or nil.
-func fieldVar(info *types.Info, sel *ast.SelectorExpr) *types.Var {
-	selection, ok := info.Selections[sel]
-	if !ok || selection.Kind() != types.FieldVal {
-		return nil
-	}
-	f, ok := selection.Obj().(*types.Var)
-	if !ok || !f.IsField() {
-		return nil
-	}
-	// Fields of the atomic wrapper types are safe by construction.
-	if named, ok := f.Type().(*types.Named); ok {
-		if p := named.Obj().Pkg(); p != nil && p.Path() == "sync/atomic" {
-			return nil
-		}
-	}
-	return f
 }

@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// checkTestPkg type-checks one import-free source file into a Package.
+func checkTestPkg(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "pkg.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{}
+	tpkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{PkgPath: "p", Fset: fset, Files: []*ast.File{f}, Types: tpkg, TypesInfo: info}
+}
+
+func findNode(t *testing.T, cg *CallGraph, name string) *CGNode {
+	t.Helper()
+	for fn, n := range cg.Nodes {
+		if fn.Name() == name && n.Decl != nil {
+			return n
+		}
+	}
+	t.Fatalf("no declared node %q in call graph", name)
+	return nil
+}
+
+func hasEdge(from *CGNode, toName, kind string) bool {
+	for _, e := range from.Out {
+		if e.Callee.Fn.Name() == toName && (kind == "" || e.Kind == kind) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCallGraphStaticAndClosures(t *testing.T) {
+	pkg := checkTestPkg(t, `package p
+
+func a() { b() }
+func b() {}
+
+// c's closure calls d: flattening attributes the call to c itself.
+func c(run func(func())) {
+	run(func() { d() })
+}
+func d() {}
+
+// e references f as a value without calling it.
+func e(sink func(func())) { sink(f) }
+func f() {}
+`)
+	cg := BuildCallGraph([]*Package{pkg})
+	if !hasEdge(findNode(t, cg, "a"), "b", "static") {
+		t.Error("missing static edge a -> b")
+	}
+	if !hasEdge(findNode(t, cg, "c"), "d", "static") {
+		t.Error("closure call not flattened into c (missing c -> d)")
+	}
+	if !hasEdge(findNode(t, cg, "e"), "f", "ref") {
+		t.Error("function-value reference e -> f not recorded")
+	}
+	if hasEdge(findNode(t, cg, "a"), "d", "") {
+		t.Error("spurious edge a -> d")
+	}
+	// Callers recorded symmetrically.
+	bNode := findNode(t, cg, "b")
+	if len(bNode.In) != 1 || bNode.In[0].Caller.Fn.Name() != "a" {
+		t.Errorf("b.In = %v, want exactly one caller a", bNode.In)
+	}
+}
+
+func TestCallGraphInterfaceCHA(t *testing.T) {
+	pkg := checkTestPkg(t, `package p
+
+type closer interface{ close() }
+
+type fileT struct{}
+func (fileT) close() {}
+
+type sockT struct{}
+func (*sockT) close() {}
+
+type unrelated struct{}
+func (unrelated) open() {}
+
+func shutdown(c closer) { c.close() }
+`)
+	cg := BuildCallGraph([]*Package{pkg})
+	sd := findNode(t, cg, "shutdown")
+	// CHA must resolve to both implementations (value and pointer
+	// receiver) and not to unrelated types.
+	var impls []string
+	for _, e := range sd.Out {
+		if e.Kind == "interface" && e.Callee.Decl != nil {
+			impls = append(impls, e.Callee.Fn.FullName())
+		}
+	}
+	if len(impls) != 2 {
+		t.Fatalf("CHA resolved %v, want the two close implementations", impls)
+	}
+	for _, e := range sd.Out {
+		if e.Callee.Fn.Name() == "open" {
+			t.Error("CHA reached a method of a non-implementing type")
+		}
+	}
+}
+
+// TestCallGraphDeterministic: two builds over the same package produce
+// identical declared-node and edge orders.
+func TestCallGraphDeterministic(t *testing.T) {
+	src := `package p
+func a() { b(); c() }
+func b() { c() }
+func c() {}
+`
+	pkg := checkTestPkg(t, src)
+	shape := func(cg *CallGraph) []string {
+		var out []string
+		for _, n := range cg.Declared() {
+			out = append(out, n.Fn.Name())
+			for _, e := range n.Out {
+				out = append(out, n.Fn.Name()+"->"+e.Callee.Fn.Name())
+			}
+		}
+		return out
+	}
+	first := shape(BuildCallGraph([]*Package{pkg}))
+	for i := 0; i < 5; i++ {
+		next := shape(BuildCallGraph([]*Package{pkg}))
+		if len(next) != len(first) {
+			t.Fatalf("build %d: %v != %v", i, next, first)
+		}
+		for j := range next {
+			if next[j] != first[j] {
+				t.Fatalf("build %d differs at %d: %v != %v", i, j, next, first)
+			}
+		}
+	}
+}

@@ -17,6 +17,11 @@
 // Output-only packages (harness reports, cmd front-ends) legitimately
 // measure wall-clock time, so they are held to the map-iteration rule
 // only.
+//
+// This analyzer is intraprocedural: it flags the sin at its source line,
+// inside the parity scope. Its interprocedural complement is the purity
+// analyzer, which flags parity-scope call sites whose callees outside the
+// scope commit the same sins transitively.
 package determinism
 
 import (
@@ -25,11 +30,12 @@ import (
 	"github.com/graphbig/graphbig-go/internal/analysis"
 )
 
-// parityScope lists the packages whose execution must be bit-reproducible:
+// ParityScope lists the packages whose execution must be bit-reproducible:
 // the tracker/simulation pipeline (perfmon, cachesim, simt), everything
 // that feeds it (workloads, gen, bayes), and the dataset serializer/stats
-// used by golden files.
-var parityScope = []string{
+// used by golden files. The purity analyzer uses the same scope for its
+// interprocedural entry points.
+var ParityScope = []string{
 	"internal/perfmon",
 	"internal/simt",
 	"internal/cachesim",
@@ -50,49 +56,14 @@ var outputScope = []string{
 	"cmd/graphbig-g500",
 }
 
-// randConstructors are the math/rand functions that build explicitly
-// seeded generators; everything else at package level draws from the
-// global source.
-var randConstructors = map[string]bool{
-	"New": true, "NewPCG": true, "NewSource": true,
-	"NewZipf": true, "NewChaCha8": true,
-}
-
 var Analyzer = &analysis.Analyzer{
 	Name: "determinism",
 	Doc:  "forbid map iteration, time.Now and global math/rand in parity-critical packages",
 	Run:  run,
 }
 
-// isKeyCollection recognizes `for k := range m { s = append(s, k) }`:
-// keys only (no value binding) and a body that is exactly one append of
-// the key onto a slice. Any other statement in the body executes in map
-// order and disqualifies the loop.
-func isKeyCollection(n *ast.RangeStmt) bool {
-	if n.Value != nil || len(n.Body.List) != 1 {
-		return false
-	}
-	key, ok := n.Key.(*ast.Ident)
-	if !ok {
-		return false
-	}
-	asg, ok := n.Body.List[0].(*ast.AssignStmt)
-	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
-		return false
-	}
-	call, ok := asg.Rhs[0].(*ast.CallExpr)
-	if !ok || len(call.Args) != 2 {
-		return false
-	}
-	if fn, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || fn.Name != "append" {
-		return false
-	}
-	arg, ok := call.Args[1].(*ast.Ident)
-	return ok && arg.Name == key.Name
-}
-
 func run(pass *analysis.Pass) error {
-	parity := analysis.HasPathSuffix(pass.Pkg.Path(), parityScope...)
+	parity := analysis.HasPathSuffix(pass.Pkg.Path(), ParityScope...)
 	output := analysis.HasPathSuffix(pass.Pkg.Path(), outputScope...)
 	if !parity && !output {
 		return nil
@@ -100,26 +71,18 @@ func run(pass *analysis.Pass) error {
 	pass.Inspect(func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.RangeStmt:
-			if analysis.IsMap(pass.TypesInfo, n.X) && !isKeyCollection(n) {
+			if analysis.IsMap(pass.TypesInfo, n.X) && !analysis.IsKeyCollectionRange(n) {
 				pass.Report(n.Pos(), "range over map is nondeterministically ordered; iterate a sorted key slice instead")
 			}
 		case *ast.CallExpr:
 			if !parity {
 				return true
 			}
-			fn := analysis.Callee(pass.TypesInfo, n)
-			if fn == nil || fn.Pkg() == nil {
-				return true
-			}
-			switch fn.Pkg().Path() {
-			case "time":
-				if fn.Name() == "Now" && fn.Signature().Recv() == nil {
-					pass.Report(n.Pos(), "time.Now in a parity-critical package makes runs irreproducible; thread timestamps in from the caller")
-				}
-			case "math/rand", "math/rand/v2":
-				if fn.Signature().Recv() == nil && !randConstructors[fn.Name()] {
-					pass.Report(n.Pos(), "global math/rand source is unseeded across runs; use an explicit rand.New(rand.NewPCG(seed, ...))")
-				}
+			switch analysis.NondeterministicCall(pass.TypesInfo, n) {
+			case "time.Now":
+				pass.Report(n.Pos(), "time.Now in a parity-critical package makes runs irreproducible; thread timestamps in from the caller")
+			case "the global math/rand source":
+				pass.Report(n.Pos(), "global math/rand source is unseeded across runs; use an explicit rand.New(rand.NewPCG(seed, ...))")
 			}
 		}
 		return true

@@ -1,0 +1,531 @@
+// Package escape upgrades hotloop's syntactic allocation heuristic to an
+// interprocedural escape analysis. hotloop flags make/new/&composite
+// written directly inside a nested (per-edge) loop, but an allocation
+// hidden one call away is invisible to it: a hot loop calling a helper
+// that returns a fresh slice allocates per edge just the same. This
+// analyzer summarizes every declared function in the module — does it
+// perform a heap allocation whose value escapes the function (returned,
+// stored beyond its frame, captured by a closure, boxed into an
+// interface, or passed to a parameter the callee escapes), directly or
+// through any chain of callees? — and then reports every call site at
+// loop depth >= 2 in internal/engine and internal/workloads whose callee
+// carries an escaping-allocation summary.
+//
+// The intraprocedural half is a flow-insensitive taint analysis: fresh
+// allocations and parameters are roots; taint propagates through local
+// assignments, derived expressions (index, field, slice, deref, address,
+// conversion) and append; sinks are returns, stores through non-local
+// l-values, channel sends, closure captures, interface boxing and
+// arguments at escaping parameter positions. Values of basic type carry
+// no references and never sink. Parameter escape feeds back through call
+// sites, so a helper that merely hands its argument to a storing callee
+// is itself escaping — the summaries reach a module-wide fixpoint.
+// Standard-library callees are assumed non-escaping (the recognized sinks
+// cover boxing, which is how allocations usually leak into fmt and
+// friends); unresolvable callees (func values, methods of unanalyzed
+// types) are conservatively assumed to escape every argument.
+package escape
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/graphbig/graphbig-go/internal/analysis"
+)
+
+var scope = []string{"internal/engine", "internal/workloads"}
+
+// hot mirrors hotloop: findings fire at lexical loop depth >= 2.
+const hot = 2
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "escape",
+	Doc:       "report hot-loop calls into functions that heap-allocate and let the allocation escape",
+	RunModule: run,
+}
+
+// summary is one function's escape behavior.
+type summary struct {
+	// allocEscapes: calling this function performs (directly or via a
+	// callee) a heap allocation that outlives the call.
+	allocEscapes bool
+	how          string   // sink kind witnessing the direct escape
+	chain        []string // call path from this function to the allocator
+	// paramEscapes[i]: the value of parameter i escapes this function.
+	paramEscapes []bool
+}
+
+func name(n *analysis.CGNode) string {
+	if n.Fn.Pkg() != nil {
+		return n.Fn.Pkg().Name() + "." + n.Fn.Name()
+	}
+	return n.Fn.Name()
+}
+
+func run(mp *analysis.ModulePass) error {
+	cg := mp.Module.CallGraph()
+	nodes := cg.Declared()
+
+	sums := map[*analysis.CGNode]*summary{}
+	for _, n := range nodes {
+		sums[n] = &summary{paramEscapes: make([]bool, n.Fn.Signature().Params().Len())}
+	}
+	nodeOf := map[*types.Func]*analysis.CGNode{}
+	for _, n := range nodes {
+		nodeOf[n.Fn] = n
+	}
+
+	// Module-wide fixpoint: parameter escape feeds call-argument sinks,
+	// and callee allocEscapes propagates to callers, so iterate the
+	// whole intraprocedural analysis until summaries stabilize.
+	for changed := true; changed; {
+		changed = false
+		for _, n := range nodes {
+			if update(n, sums, nodeOf) {
+				changed = true
+			}
+		}
+	}
+
+	// Report hot-loop call sites on escaping callees. Interface calls are
+	// resolved through the call graph's CHA edges at the same site.
+	siteCallees := map[ast.Node][]*analysis.CGNode{}
+	for _, n := range nodes {
+		for _, e := range n.Out {
+			if e.Kind == "ref" || e.Callee.Decl == nil {
+				continue
+			}
+			siteCallees[e.Site] = append(siteCallees[e.Site], e.Callee)
+		}
+	}
+	type finding struct {
+		pos token.Pos
+		msg string
+	}
+	seen := map[finding]bool{}
+	var findings []finding
+	for _, n := range nodes {
+		if !analysis.HasPathSuffix(n.Pkg.PkgPath, scope...) || n.Decl.Body == nil {
+			continue
+		}
+		analysis.WalkLoopDepth(n.Decl.Body, func(m ast.Node, depth int) {
+			call, ok := m.(*ast.CallExpr)
+			if !ok || depth < hot {
+				return
+			}
+			for _, callee := range siteCallees[call] {
+				s := sums[callee]
+				if !s.allocEscapes {
+					continue
+				}
+				f := finding{
+					pos: call.Pos(),
+					msg: fmt.Sprintf("call to %s in a nested hot loop allocates per edge: %s (path: %s); hoist the allocation out of the traversal",
+						name(callee), s.how, strings.Join(s.chain, " -> ")),
+				}
+				if !seen[f] {
+					seen[f] = true
+					findings = append(findings, f)
+				}
+			}
+		})
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].pos != findings[j].pos {
+			return findings[i].pos < findings[j].pos
+		}
+		return findings[i].msg < findings[j].msg
+	})
+	for _, f := range findings {
+		mp.Report(f.pos, "%s", f.msg)
+	}
+	return nil
+}
+
+// update recomputes n's summary against the current module summaries and
+// reports whether it grew (summaries only ever grow, so the fixpoint
+// terminates).
+func update(n *analysis.CGNode, sums map[*analysis.CGNode]*summary, nodeOf map[*types.Func]*analysis.CGNode) bool {
+	old := sums[n]
+	a := &analyzer{
+		node:   n,
+		info:   n.Pkg.TypesInfo,
+		sums:   sums,
+		nodeOf: nodeOf,
+		tags:   map[types.Object]tagset{},
+	}
+	s := a.analyze()
+
+	// Transitive allocation escape through plain calls: calling n runs
+	// its callees, so their escaping allocations are n's too.
+	if !s.allocEscapes {
+		for _, e := range n.Out {
+			if e.Kind == "ref" {
+				continue
+			}
+			cs := sums[e.Callee]
+			if cs != nil && cs.allocEscapes {
+				s.allocEscapes = true
+				s.how = cs.how
+				s.chain = append([]string{name(n)}, cs.chain...)
+				break
+			}
+		}
+	} else {
+		s.chain = []string{name(n)}
+	}
+
+	grew := false
+	if s.allocEscapes && !old.allocEscapes {
+		grew = true
+	} else if old.allocEscapes {
+		// Keep the first witness; summaries never shrink.
+		s.allocEscapes, s.how, s.chain = old.allocEscapes, old.how, old.chain
+	}
+	for i := range s.paramEscapes {
+		if old.paramEscapes[i] {
+			s.paramEscapes[i] = true
+		} else if s.paramEscapes[i] {
+			grew = true
+		}
+	}
+	sums[n] = s
+	return grew
+}
+
+// tagset tracks which roots an expression may hold: bit 0 is "a fresh
+// allocation made in this function", bit i+1 is "parameter i".
+type tagset uint64
+
+const allocTag tagset = 1
+
+func paramTag(i int) tagset {
+	if i >= 62 {
+		return 0
+	}
+	return 1 << (uint(i) + 1)
+}
+
+type analyzer struct {
+	node   *analysis.CGNode
+	info   *types.Info
+	sums   map[*analysis.CGNode]*summary
+	nodeOf map[*types.Func]*analysis.CGNode
+	tags   map[types.Object]tagset
+
+	escaped tagset // roots that reached a sink
+	how     string // first sink kind that consumed an allocation
+}
+
+func (a *analyzer) analyze() *summary {
+	decl := a.node.Decl
+	sig := a.node.Fn.Signature()
+	for i := 0; i < sig.Params().Len(); i++ {
+		a.tags[sig.Params().At(i)] = paramTag(i)
+	}
+	if decl.Body == nil {
+		return &summary{paramEscapes: make([]bool, sig.Params().Len())}
+	}
+	// Flow-insensitive taint propagation through local assignments, to a
+	// fixpoint (handles use-before-def textual order like p := q; q := new).
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(decl.Body, func(m ast.Node) bool {
+			asg, ok := m.(*ast.AssignStmt)
+			if !ok || len(asg.Lhs) != len(asg.Rhs) {
+				return true
+			}
+			for i, lhs := range asg.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := a.info.Defs[id]
+				if obj == nil {
+					obj = a.info.Uses[id]
+				}
+				if obj == nil || !isLocalVar(obj) {
+					continue
+				}
+				t := a.exprTags(asg.Rhs[i])
+				if t&^a.tags[obj] != 0 {
+					a.tags[obj] |= t
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	a.sinks(decl.Body)
+
+	s := &summary{paramEscapes: make([]bool, sig.Params().Len())}
+	if a.escaped&allocTag != 0 {
+		s.allocEscapes = true
+		s.how = a.how
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if a.escaped&paramTag(i) != 0 {
+			s.paramEscapes[i] = true
+		}
+	}
+	return s
+}
+
+// sinks walks the body recording every context that lets a tagged value
+// outlive the frame.
+func (a *analyzer) sinks(body ast.Node) {
+	ast.Inspect(body, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range m.Results {
+				a.sink(r, "the allocation is returned")
+			}
+		case *ast.SendStmt:
+			a.sink(m.Value, "the allocation is sent on a channel")
+		case *ast.AssignStmt:
+			for i, lhs := range m.Lhs {
+				if i >= len(m.Rhs) {
+					break
+				}
+				if a.isHeapLValue(lhs) {
+					a.sink(m.Rhs[i], "the allocation is stored beyond the frame")
+				}
+			}
+		case *ast.FuncLit:
+			// A closure may outlive the frame; anything it captures does
+			// too. (Conservative: the closure itself may not escape.)
+			ast.Inspect(m.Body, func(inner ast.Node) bool {
+				id, ok := inner.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if obj := a.info.Uses[id]; obj != nil {
+					if t := a.tags[obj]; t != 0 {
+						a.record(t, "the allocation is captured by a closure")
+					}
+				}
+				return true
+			})
+		case *ast.CallExpr:
+			a.callSink(m)
+		}
+		return true
+	})
+}
+
+// callSink applies the argument-position escape rules for one call.
+func (a *analyzer) callSink(call *ast.CallExpr) {
+	if tv, ok := a.info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion, handled by exprTags
+	}
+	if id := idOf(call.Fun); id != nil {
+		if _, isBuiltin := a.info.Uses[id].(*types.Builtin); isBuiltin {
+			return // append/copy/delete propagate via exprTags, never sink
+		}
+	}
+	fn := analysis.Callee(a.info, call)
+
+	var callee *analysis.CGNode
+	if fn != nil {
+		if orig := origin(fn); orig != nil {
+			callee = a.nodeOf[orig]
+		}
+	}
+	var sig *types.Signature
+	if fn != nil {
+		sig = fn.Signature()
+	} else if tv, ok := a.info.Types[call.Fun]; ok && tv.Type != nil {
+		sig, _ = tv.Type.Underlying().(*types.Signature)
+	}
+
+	for i, arg := range call.Args {
+		// Boxing into an interface parameter pins the value to the heap
+		// regardless of the callee.
+		if sig != nil {
+			if pt := paramTypeAt(sig, i); pt != nil && types.IsInterface(pt) && !isInterfaceValue(a.info, arg) {
+				a.sink(arg, "the allocation is boxed into an interface argument")
+				continue
+			}
+		}
+		switch {
+		case callee != nil && callee.Decl != nil:
+			s := a.sums[callee]
+			if pe := paramEscapeAt(s, sig, i); pe {
+				a.sink(arg, "the allocation is passed to a parameter the callee escapes")
+			}
+		case fn != nil && fn.Pkg() != nil && a.nodeOf[origin(fn)] == nil:
+			// Known function outside the module (stdlib): assumed
+			// non-escaping apart from the boxing rule above.
+		default:
+			// Func value or unresolvable callee: conservative.
+			a.sink(arg, "the allocation is passed through an untracked function value")
+		}
+	}
+}
+
+// sink marks every root reachable from e as escaped, unless e's type
+// cannot carry a reference.
+func (a *analyzer) sink(e ast.Expr, how string) {
+	if e == nil || a.basicTyped(e) {
+		return
+	}
+	a.record(a.exprTags(e), how)
+}
+
+func (a *analyzer) record(t tagset, how string) {
+	if t == 0 {
+		return
+	}
+	if t&allocTag != 0 && a.escaped&allocTag == 0 && a.how == "" {
+		a.how = how
+	}
+	a.escaped |= t
+}
+
+// exprTags computes which roots e may hold.
+func (a *analyzer) exprTags(e ast.Expr) tagset {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := a.info.Uses[e]; obj != nil {
+			return a.tags[obj]
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if _, lit := e.X.(*ast.CompositeLit); lit {
+				return allocTag
+			}
+		}
+		return a.exprTags(e.X)
+	case *ast.StarExpr:
+		return a.exprTags(e.X)
+	case *ast.IndexExpr:
+		return a.exprTags(e.X)
+	case *ast.SelectorExpr:
+		return a.exprTags(e.X)
+	case *ast.SliceExpr:
+		return a.exprTags(e.X)
+	case *ast.CompositeLit:
+		// A composite literal holding tagged values re-packages them.
+		var t tagset
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			t |= a.exprTags(el)
+		}
+		return t
+	case *ast.CallExpr:
+		if tv, ok := a.info.Types[e.Fun]; ok && tv.IsType() {
+			return a.exprTags(e.Args[0]) // conversion
+		}
+		if id := idOf(e.Fun); id != nil {
+			if b, ok := a.info.Uses[id].(*types.Builtin); ok {
+				switch b.Name() {
+				case "make", "new":
+					return allocTag
+				case "append":
+					var t tagset
+					for _, arg := range e.Args {
+						t |= a.exprTags(arg)
+					}
+					return t
+				}
+				return 0
+			}
+		}
+	}
+	return 0
+}
+
+// isHeapLValue reports whether assigning through lhs stores outside the
+// current frame's plain locals: a field, an element, a dereference, or a
+// package-level variable.
+func (a *analyzer) isHeapLValue(lhs ast.Expr) bool {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		obj := a.info.Uses[lhs]
+		if obj == nil {
+			obj = a.info.Defs[lhs]
+		}
+		return obj != nil && !isLocalVar(obj)
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+func (a *analyzer) basicTyped(e ast.Expr) bool {
+	tv, ok := a.info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, basic := tv.Type.Underlying().(*types.Basic)
+	return basic
+}
+
+func isLocalVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() || v.Pkg() == nil {
+		return false
+	}
+	// Package-level variables have the package scope as parent.
+	return v.Parent() != v.Pkg().Scope()
+}
+
+func idOf(fun ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(fun).(*ast.Ident)
+	return id
+}
+
+func origin(fn *types.Func) *types.Func {
+	if fn == nil {
+		return nil
+	}
+	return fn.Origin()
+}
+
+// paramTypeAt resolves the static type of argument position i, treating
+// the variadic tail as the variadic parameter's element type.
+func paramTypeAt(sig *types.Signature, i int) types.Type {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return nil
+	}
+	if i < params.Len()-1 || !sig.Variadic() {
+		if i >= params.Len() {
+			return nil
+		}
+		return params.At(i).Type()
+	}
+	last := params.At(params.Len() - 1).Type()
+	if sl, ok := last.(*types.Slice); ok {
+		return sl.Elem()
+	}
+	return last
+}
+
+// paramEscapeAt maps argument position i to the callee's paramEscapes,
+// collapsing the variadic tail onto the final parameter.
+func paramEscapeAt(s *summary, sig *types.Signature, i int) bool {
+	if s == nil || len(s.paramEscapes) == 0 {
+		return false
+	}
+	if sig != nil && sig.Variadic() && i >= len(s.paramEscapes) {
+		i = len(s.paramEscapes) - 1
+	}
+	if i >= len(s.paramEscapes) {
+		return false
+	}
+	return s.paramEscapes[i]
+}
+
+// isInterfaceValue reports whether arg is already an interface value
+// (no boxing happens at the call).
+func isInterfaceValue(info *types.Info, arg ast.Expr) bool {
+	tv, ok := info.Types[arg]
+	return ok && tv.Type != nil && types.IsInterface(tv.Type)
+}

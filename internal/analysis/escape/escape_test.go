@@ -1,0 +1,16 @@
+package escape_test
+
+import (
+	"testing"
+
+	"github.com/graphbig/graphbig-go/internal/analysis"
+	"github.com/graphbig/graphbig-go/internal/analysis/escape"
+)
+
+// TestEscape exercises the interprocedural contract: every want in the
+// fixture sits on a hot-loop call site, and every allocation lives in the
+// imported example.com/alloc helper (or behind an interface dispatch) —
+// none is syntactically visible to hotloop at the call site.
+func TestEscape(t *testing.T) {
+	analysis.RunTest(t, escape.Analyzer, "internal/engine")
+}

@@ -1,0 +1,64 @@
+// Package alloc is an escape fixture: helpers whose allocations are
+// invisible to hotloop's syntactic check because they happen one or more
+// calls away from the hot loop.
+package alloc
+
+type Node struct{ V int }
+
+var sink *Node
+var box interface{}
+
+// NewBuf returns a fresh allocation — the canonical escaping helper.
+func NewBuf() []int { return make([]int, 8) }
+
+// Wrap is escaping only transitively: Wrap -> NewBuf.
+func Wrap() []int { return NewBuf() }
+
+// StoreGlobal allocates and parks the value in a package variable.
+func StoreGlobal() {
+	p := new(Node)
+	sink = p
+}
+
+// CaptureClosure allocates and hands the buffer to a returned closure.
+func CaptureClosure() func() int {
+	buf := make([]int, 4)
+	return func() int { return buf[0] }
+}
+
+// Boxer allocates and boxes the pointer into an interface argument.
+func Boxer() {
+	p := &Node{V: 1}
+	consume(p)
+}
+
+func consume(v interface{}) { box = v }
+
+// Keep escapes its parameter; ViaParam is escaping because it allocates
+// and passes the allocation to Keep.
+func Keep(p *Node) { sink = p }
+
+func ViaParam() {
+	p := new(Node)
+	Keep(p)
+}
+
+// LocalOnly allocates but only a basic value leaves the frame — not an
+// escape.
+func LocalOnly() int {
+	s := make([]int, 8)
+	s[0] = 1
+	return s[0]
+}
+
+// PureCompute never allocates.
+func PureCompute(x int) int { return x*x + 1 }
+
+// BorrowSum reads its argument without escaping it.
+func BorrowSum(s []int) int {
+	t := 0
+	for _, v := range s {
+		t += v
+	}
+	return t
+}

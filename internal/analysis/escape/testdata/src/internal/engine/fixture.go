@@ -1,0 +1,53 @@
+// Package engine (fixture): every want below is a call whose allocation
+// lives only in example.com/alloc — hotloop's syntactic check cannot see
+// any of them.
+package engine
+
+import "example.com/alloc"
+
+type builder interface{ Build() []int }
+
+type heapBuilder struct{}
+
+func (heapBuilder) Build() []int { return make([]int, 16) }
+
+func Traverse(adj [][]int32, b builder) int {
+	total := 0
+	for _, row := range adj {
+		for range row {
+			buf := alloc.NewBuf() // want "call to alloc.NewBuf in a nested hot loop allocates per edge: the allocation is returned"
+			total += len(buf)
+			w := alloc.Wrap() // want `call to alloc.Wrap in a nested hot loop allocates per edge: the allocation is returned \(path: alloc.Wrap -> alloc.NewBuf\)`
+			total += len(w)
+			alloc.StoreGlobal()         // want "the allocation is stored beyond the frame"
+			c := alloc.CaptureClosure() // want "the allocation is captured by a closure"
+			total += c()
+			alloc.Boxer()                 // want "the allocation is boxed"
+			alloc.ViaParam()              // want "the allocation is passed to a parameter the callee escapes"
+			total += b.Build()[0]         // want "call to engine.Build in a nested hot loop allocates per edge"
+			total += alloc.LocalOnly()    // no finding: allocation never escapes
+			total += alloc.PureCompute(3) // no finding: no allocation
+			total += alloc.BorrowSum(nil) // no finding: argument is borrowed, not kept
+		}
+	}
+	buf := alloc.NewBuf() // depth 1: amortized per-vertex work, no finding
+	return total + len(buf)
+}
+
+// ForItems mimics the engine's closure-based iteration: the closure body
+// inherits the loop depth, so the call inside it is hot.
+func ForItems(items []int, fn func(int)) {
+	for _, it := range items {
+		fn(it)
+	}
+}
+
+func Drive(adj [][]int32) {
+	for range adj {
+		ForItems(nil, func(n int) {
+			for i := 0; i < n; i++ {
+				_ = alloc.NewBuf() // want "call to alloc.NewBuf in a nested hot loop allocates per edge"
+			}
+		})
+	}
+}

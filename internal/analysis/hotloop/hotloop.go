@@ -48,68 +48,49 @@ func run(pass *analysis.Pass) error {
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-				scan(pass, fd.Body, 0)
+				analysis.WalkLoopDepth(fd.Body, func(n ast.Node, depth int) {
+					check(pass, n, depth)
+				})
 			}
 		}
 	}
 	return nil
 }
 
-// scan walks n flagging hazards, tracking the lexical loop depth. Loop
-// conditions and post statements execute once per iteration and are
-// scanned at body depth; for-init and range operands execute once and
-// stay at the enclosing depth.
-func scan(pass *analysis.Pass, n ast.Node, depth int) {
-	if n == nil {
-		return
-	}
-	ast.Inspect(n, func(m ast.Node) bool {
-		switch s := m.(type) {
-		case *ast.ForStmt:
-			if m == n {
-				return true // scan was entered on this node; avoid recursing forever
-			}
-			scan(pass, s.Init, depth)
-			scan(pass, s.Cond, depth+1)
-			scan(pass, s.Post, depth+1)
-			scan(pass, s.Body, depth+1)
-			return false
-		case *ast.RangeStmt:
-			if m == n {
-				return true
-			}
-			scan(pass, s.X, depth)
-			if depth+1 >= hot && analysis.IsMap(pass.TypesInfo, s.X) {
-				pass.Report(s.Pos(), "map iteration in a nested hot loop costs a hash walk per edge; hoist to a dense slice")
-			}
-			scan(pass, s.Body, depth+1)
-			return false
-		case *ast.IndexExpr:
-			if depth >= hot && analysis.IsMap(pass.TypesInfo, s.X) {
-				pass.Report(s.Pos(), "map indexing in a nested hot loop costs a hash probe per edge; use a dense slice keyed by vertex index")
-			}
-		case *ast.TypeAssertExpr:
-			if depth >= hot && s.Type != nil {
-				pass.Report(s.Pos(), "type assertion in a nested hot loop adds per-edge dynamic checks; hoist the concrete type out of the loop")
-			}
-		case *ast.CallExpr:
-			if depth < hot {
-				return true
-			}
-			if isAllocBuiltin(pass.TypesInfo, s) {
-				pass.Report(s.Pos(), "allocation in a nested hot loop creates per-edge garbage; preallocate outside the traversal")
-			} else if isIfaceConversion(pass.TypesInfo, s) {
-				pass.Report(s.Pos(), "conversion to an interface in a nested hot loop boxes per edge; keep hot values concrete")
-			}
-		case *ast.UnaryExpr:
-			if depth >= hot && s.Op == token.AND {
-				if _, lit := s.X.(*ast.CompositeLit); lit {
-					pass.Report(s.Pos(), "&composite literal in a nested hot loop escapes to the heap per edge; reuse a preallocated value")
-				}
+// check flags per-edge hazards at the given lexical loop depth (the depth
+// accounting lives in analysis.WalkLoopDepth, shared with escape).
+func check(pass *analysis.Pass, n ast.Node, depth int) {
+	switch s := n.(type) {
+	case *ast.RangeStmt:
+		// The range node is visited at the enclosing depth; its hash walk
+		// happens once per iteration of the loop it forms, hence depth+1.
+		if depth+1 >= hot && analysis.IsMap(pass.TypesInfo, s.X) {
+			pass.Report(s.Pos(), "map iteration in a nested hot loop costs a hash walk per edge; hoist to a dense slice")
+		}
+	case *ast.IndexExpr:
+		if depth >= hot && analysis.IsMap(pass.TypesInfo, s.X) {
+			pass.Report(s.Pos(), "map indexing in a nested hot loop costs a hash probe per edge; use a dense slice keyed by vertex index")
+		}
+	case *ast.TypeAssertExpr:
+		if depth >= hot && s.Type != nil {
+			pass.Report(s.Pos(), "type assertion in a nested hot loop adds per-edge dynamic checks; hoist the concrete type out of the loop")
+		}
+	case *ast.CallExpr:
+		if depth < hot {
+			return
+		}
+		if isAllocBuiltin(pass.TypesInfo, s) {
+			pass.Report(s.Pos(), "allocation in a nested hot loop creates per-edge garbage; preallocate outside the traversal")
+		} else if isIfaceConversion(pass.TypesInfo, s) {
+			pass.Report(s.Pos(), "conversion to an interface in a nested hot loop boxes per edge; keep hot values concrete")
+		}
+	case *ast.UnaryExpr:
+		if depth >= hot && s.Op == token.AND {
+			if _, lit := s.X.(*ast.CompositeLit); lit {
+				pass.Report(s.Pos(), "&composite literal in a nested hot loop escapes to the heap per edge; reuse a preallocated value")
 			}
 		}
-		return true
-	})
+	}
 }
 
 // isAllocBuiltin reports calls to the make and new builtins.

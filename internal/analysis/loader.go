@@ -1,10 +1,12 @@
 package analysis
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/parser"
 	"go/token"
 	"go/types"
@@ -14,6 +16,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one parsed and type-checked package.
@@ -140,7 +143,9 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 
 // checkListed type-checks one `go list`-ed package (deps must already be
 // checked; Load iterates in dependency order, and Import falls back to an
-// on-demand go list for anything missed). Returns nil for "unsafe".
+// on-demand go list for anything missed). Returns nil for "unsafe" and
+// for standard-library packages, which are served from the process-wide
+// cache without keeping syntax.
 func (l *Loader) checkListed(path string) (*Package, error) {
 	if path == "unsafe" {
 		l.pkgs[path] = types.Unsafe
@@ -156,11 +161,108 @@ func (l *Loader) checkListed(path string) (*Package, error) {
 	if !ok {
 		return nil, fmt.Errorf("analysis: package %s not listed", path)
 	}
+	if m.Standard {
+		tpkg, err := stdPackage(path, l.meta)
+		if err != nil {
+			return nil, err
+		}
+		l.pkgs[path] = tpkg
+		return nil, nil
+	}
 	files := make([]string, len(m.GoFiles))
 	for i, f := range m.GoFiles {
 		files[i] = filepath.Join(m.Dir, f)
 	}
 	return l.check(path, m.Dir, files)
+}
+
+// stdCache is the process-wide store of type-checked standard-library
+// packages. The std closure costs a few seconds to check from source and
+// is identical for every Loader (same GOROOT, same CGO_ENABLED=0 file
+// set), so re-checking it per RunAnalyzers invocation — one loader per
+// Vet call, per analyzer test, per fixture — wasted almost all of every
+// run. Cached std packages keep no syntax; their objects' positions refer
+// to the cache's private FileSet, which is fine because analyzers only
+// ever report positions inside module or fixture files.
+var stdCache = struct {
+	mu     sync.Mutex
+	fset   *token.FileSet
+	pkgs   map[string]*types.Package
+	checks int // type-check invocations, observable by tests/benchmarks
+}{
+	fset: token.NewFileSet(),
+	pkgs: map[string]*types.Package{},
+}
+
+// StdTypeChecks reports how many standard-library packages have been
+// type-checked process-wide. The loader benchmark and cache regression
+// test use it to assert reuse (the count must not grow on a warm load).
+func StdTypeChecks() int {
+	stdCache.mu.Lock()
+	defer stdCache.mu.Unlock()
+	return stdCache.checks
+}
+
+// stdPackage returns the cached std package for path, checking it (and
+// its std dependencies, dependency-first) on a cache miss. meta supplies
+// `go list` results; the caller's listing always covers the closure it
+// asks for, so no fallback listing is needed.
+func stdPackage(path string, meta map[string]*listedPkg) (*types.Package, error) {
+	stdCache.mu.Lock()
+	defer stdCache.mu.Unlock()
+	return stdPackageLocked(path, meta)
+}
+
+func stdPackageLocked(path string, meta map[string]*listedPkg) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := stdCache.pkgs[path]; ok {
+		return p, nil
+	}
+	m, ok := meta[path]
+	if !ok {
+		return nil, fmt.Errorf("analysis: std package %s not listed", path)
+	}
+	for _, imp := range m.Imports {
+		if _, err := stdPackageLocked(imp, meta); err != nil {
+			return nil, err
+		}
+	}
+	var files []*ast.File
+	for _, f := range m.GoFiles {
+		af, err := parser.ParseFile(stdCache.fset, filepath.Join(m.Dir, f), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, af)
+	}
+	conf := types.Config{
+		Importer: stdCacheImporter{},
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(path, stdCache.fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking std %s: %w", path, err)
+	}
+	stdCache.pkgs[path] = tpkg
+	stdCache.checks++
+	return tpkg, nil
+}
+
+// stdCacheImporter serves imports during a std check from the cache. The
+// mutex is already held by stdPackageLocked and dependencies are checked
+// first, so this is a pure map read.
+type stdCacheImporter struct{}
+
+func (stdCacheImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := stdCache.pkgs[path]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("analysis: std import %q not yet checked", path)
 }
 
 // LoadFixture parses and type-checks the fixture package at
@@ -180,14 +282,71 @@ func (l *Loader) LoadFixture(pkgpath string) (*Package, error) {
 	}
 	var files []string
 	for _, e := range ents {
-		if n := e.Name(); strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
-			files = append(files, filepath.Join(dir, n))
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
 		}
+		// The go tool's ignore conventions: editors and vendoring drop
+		// "_"/"." prefixed files into testdata trees, and fixtures may be
+		// build-tag-gated (e.g. arch-specific positives).
+		if strings.HasPrefix(n, "_") || strings.HasPrefix(n, ".") {
+			continue
+		}
+		path := filepath.Join(dir, n)
+		ok, err := buildTagsSatisfied(path)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		files = append(files, path)
 	}
 	if len(files) == 0 {
 		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
 	}
 	return l.check(pkgpath, dir, files)
+}
+
+// buildTagsSatisfied reports whether the file's build constraints
+// (`//go:build` and legacy `// +build` lines before the package clause)
+// hold for the current GOOS/GOARCH with the gc toolchain. Release tags
+// (go1.x) are treated as satisfied — fixtures gate on platforms and
+// custom tags, not on future Go versions.
+func buildTagsSatisfied(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "package ") {
+			break
+		}
+		var expr constraint.Expr
+		switch {
+		case constraint.IsGoBuild(line):
+			expr, err = constraint.Parse(line)
+		case constraint.IsPlusBuild(line):
+			expr, err = constraint.Parse(line)
+		default:
+			continue
+		}
+		if err != nil {
+			return false, fmt.Errorf("analysis: %s: bad build constraint: %v", path, err)
+		}
+		if !expr.Eval(buildTagMatches) {
+			return false, nil
+		}
+	}
+	return true, sc.Err()
+}
+
+func buildTagMatches(tag string) bool {
+	return tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc" ||
+		strings.HasPrefix(tag, "go1")
 }
 
 // check parses files and type-checks them as package path.

@@ -2,6 +2,9 @@ package analysis
 
 import (
 	"go/ast"
+	"os"
+	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -67,6 +70,97 @@ func TestLoadDepsClosure(t *testing.T) {
 		if !found {
 			t.Errorf("Load(./...) missing %s", want)
 		}
+	}
+}
+
+// TestStdCacheReused: a second loader must serve the entire std closure
+// from the process-wide cache — zero new type-check invocations.
+func TestStdCacheReused(t *testing.T) {
+	warm, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warm.Load("./internal/stats"); err != nil {
+		t.Fatal(err)
+	}
+	checked := StdTypeChecks()
+	if checked == 0 {
+		t.Fatal("warm load type-checked no std packages; cache accounting broken")
+	}
+	cold, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cold.Load("./internal/stats"); err != nil {
+		t.Fatal(err)
+	}
+	if got := StdTypeChecks(); got != checked {
+		t.Fatalf("second loader re-checked %d std packages; want full reuse", got-checked)
+	}
+}
+
+// BenchmarkLoaderWarm measures a full loader construction + package load
+// with the std cache warm — the per-RunAnalyzers cost the cache removes.
+// Compare against the first (cold) load printed by the benchmark's own
+// warmup to see the speedup.
+func BenchmarkLoaderWarm(b *testing.B) {
+	l, err := NewLoader(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := l.Load("./internal/stats"); err != nil {
+		b.Fatal(err) // warms the std cache
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := NewLoader(".")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := l.Load("./internal/stats"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestFixtureDiscoveryHonorsBuildTags: files gated off by build tags and
+// "_"/"." prefixed files must not be parsed — the gated file here would
+// fail type-checking if included.
+func TestFixtureDiscoveryHonorsBuildTags(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, "example.com", "tagged")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("good.go", "package tagged\n\nfunc Good() int { return 1 }\n")
+	write("gated.go", "//go:build fixturedisabledtag\n\npackage tagged\n\nfunc Bad() { undeclaredIdentifier() }\n")
+	write("legacy_gated.go", "// +build fixturedisabledtag\n\npackage tagged\n\nfunc AlsoBad() { undeclaredIdentifier() }\n")
+	write("_vendored.go", "package tagged\n\nfunc Vendored() { undeclaredIdentifier() }\n")
+	write("platform.go", "//go:build "+runtime.GOOS+"\n\npackage tagged\n\nfunc Platform() int { return 2 }\n")
+
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.TestdataRoot = root
+	pkg, err := l.LoadFixture("example.com/tagged")
+	if err != nil {
+		t.Fatalf("LoadFixture with gated files: %v", err)
+	}
+	if len(pkg.Files) != 2 {
+		t.Fatalf("loaded %d files, want 2 (good.go and the matching platform file)", len(pkg.Files))
+	}
+	if pkg.Types.Scope().Lookup("Good") == nil || pkg.Types.Scope().Lookup("Platform") == nil {
+		t.Error("expected declarations missing from the fixture package")
+	}
+	if pkg.Types.Scope().Lookup("Bad") != nil {
+		t.Error("build-tag-gated file was loaded")
 	}
 }
 

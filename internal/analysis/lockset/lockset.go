@@ -1,0 +1,583 @@
+// Package lockset enforces a consistent protection discipline on the
+// fields of the shared structs declared in internal/engine and
+// internal/concurrent. Every access to such a field, anywhere in the
+// module, is classified as atomic (the field is handed to a sync/atomic
+// function), locked (a specific sync.Mutex/RWMutex is held on every path
+// to the access), or bare. A field may legitimately be all-atomic,
+// all-bare (the engine's single-goroutine phases hand data off at
+// barriers), or consistently guarded by one mutex — what it may not be is
+// a mixture: atomic in one function and plain in another, guarded by mu
+// here and unguarded there, or guarded by two different mutexes.
+//
+// The held-lock set is computed per function by a forward must-hold
+// dataflow over the CFG (meet = intersection, so a lock counts only if
+// every path holds it). Deferred unlocks fall out of the CFG's defer
+// modeling: the deferred call sits in the defer.run blocks on the exit
+// path, so the lock is held from Lock() to every exit. The analysis is
+// interprocedural: a function's entry lock set is the intersection of the
+// held sets at all of its static call sites (exported functions,
+// functions with no analyzed callers, and functions whose address is
+// taken are roots with an empty entry set), so a helper that is only ever
+// called with the mutex held classifies its accesses as locked — the
+// same-function check of atomichygiene cannot see that. Function literals
+// are analyzed as their own units with an empty entry set (a closure may
+// run on another goroutine after the caller released the lock), except
+// that locks they acquire themselves are tracked normally.
+//
+// Accesses through function-local struct values and through locals
+// assigned a fresh allocation in the same function are exempt: an object
+// that has not yet been published needs no protection (the constructor
+// idiom).
+package lockset
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/graphbig/graphbig-go/internal/analysis"
+)
+
+// scope lists the packages whose struct fields are protected objects.
+var scope = []string{"internal/engine", "internal/concurrent"}
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "lockset",
+	Doc:       "require a consistent protection discipline (atomic, one mutex, or single-goroutine) per shared struct field",
+	RunModule: run,
+}
+
+// lset is a must-hold lock set keyed by the mutex variable (a struct
+// field or package-level var). nil means "unknown" (lattice top: the
+// function has not been reached from any root yet).
+type lset map[*types.Var]bool
+
+func cloneSet(s lset) lset {
+	c := make(lset, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func meetSets(a, b lset) lset {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := lset{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func equalSets(a, b lset) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// access is one classified touch of a protected field.
+type access struct {
+	field  *types.Var
+	pos    token.Pos
+	atomic bool
+	locks  lset // empty = bare (meaningless when atomic)
+}
+
+// unit is one evaluation unit: a declared function (entry set computed by
+// the interprocedural fixpoint) or a function literal (entry always ∅).
+type unit struct {
+	node   *analysis.CGNode // nil for literals
+	fn     ast.Node         // *ast.FuncDecl or *ast.FuncLit
+	pkg    *analysis.Package
+	cfg    *analysis.CFG
+	exempt map[types.Object]bool
+	skip   map[*ast.SelectorExpr]bool // selectors consumed by sync/atomic calls
+}
+
+type checker struct {
+	mp      *analysis.ModulePass
+	nodeOf  map[*types.Func]*analysis.CGNode
+	entries map[*analysis.CGNode]lset
+	units   []*unit
+	accs    []access
+}
+
+func run(mp *analysis.ModulePass) error {
+	cg := mp.Module.CallGraph()
+	nodes := cg.Declared()
+	c := &checker{
+		mp:      mp,
+		nodeOf:  map[*types.Func]*analysis.CGNode{},
+		entries: map[*analysis.CGNode]lset{},
+	}
+	for _, n := range nodes {
+		c.nodeOf[n.Fn] = n
+	}
+
+	// Build evaluation units and seed the entry sets: roots start empty,
+	// everything else starts at top and is narrowed by call sites.
+	for _, n := range nodes {
+		if n.Decl.Body == nil {
+			continue
+		}
+		if isRoot(n) {
+			c.entries[n] = lset{}
+		} else {
+			c.entries[n] = nil
+		}
+		exempt, skip, atomics := prescan(n.Pkg, n.Decl)
+		c.accs = append(c.accs, atomics...)
+		u := &unit{node: n, fn: n.Decl, pkg: n.Pkg, cfg: mp.Module.CFGOf(n), exempt: exempt, skip: skip}
+		c.units = append(c.units, u)
+		for _, lit := range topLevelFuncLits(n.Decl) {
+			c.units = append(c.units, &unit{fn: lit, pkg: n.Pkg, cfg: analysis.BuildCFG(lit), exempt: exempt, skip: skip})
+		}
+	}
+
+	// Interprocedural fixpoint on entry sets. Sets only shrink from top
+	// toward empty, so this terminates.
+	for changed := true; changed; {
+		changed = false
+		for _, u := range c.units {
+			if c.evaluate(u, nil) {
+				changed = true
+			}
+		}
+	}
+	// Final pass: collect classified accesses.
+	for _, u := range c.units {
+		c.evaluate(u, &c.accs)
+	}
+
+	c.report()
+	return nil
+}
+
+// isRoot reports whether n can be entered from outside the analyzed
+// module view: exported API, no analyzed caller, or address taken.
+func isRoot(n *analysis.CGNode) bool {
+	if ast.IsExported(n.Fn.Name()) || len(n.In) == 0 {
+		return true
+	}
+	for _, e := range n.In {
+		if e.Kind == "ref" {
+			return true
+		}
+	}
+	return false
+}
+
+// evaluate solves the must-hold dataflow for one unit. When collect is
+// nil it only propagates call-site lock sets into callee entries,
+// returning whether any entry narrowed; otherwise it appends the unit's
+// classified accesses to *collect.
+func (c *checker) evaluate(u *unit, collect *[]access) bool {
+	entry := lset{}
+	if u.node != nil {
+		entry = c.entries[u.node]
+		if entry == nil {
+			return false // unreached so far; nothing to propagate
+		}
+	}
+	info := u.pkg.TypesInfo
+	res := analysis.Solve(u.cfg, analysis.Forward, analysis.Lattice[lset]{
+		Boundary: cloneSet(entry),
+		Top:      func() lset { return nil },
+		Meet:     meetSets,
+		Equal:    equalSets,
+		Transfer: func(b *analysis.Block, in lset) lset {
+			s := cloneSet(in)
+			for _, n := range b.Nodes {
+				applyEffects(info, n, s)
+			}
+			return s
+		},
+	})
+	changed := false
+	for _, b := range u.cfg.Reachable() {
+		in := res.In[b]
+		if in == nil && b != u.cfg.Entry {
+			continue
+		}
+		s := cloneSet(in)
+		for _, n := range b.Nodes {
+			c.visitNode(u, n, s, collect, &changed)
+			applyEffects(info, n, s)
+		}
+	}
+	return changed
+}
+
+// visitNode records call-site lock sets (narrowing callee entries) and,
+// when collecting, the protected-field accesses in one CFG node, with
+// the lock state s at that point. Defer registrations and nested function
+// literals are skipped — their code runs elsewhere (the defer chain and
+// the literal's own unit).
+func (c *checker) visitNode(u *unit, n ast.Node, s lset, collect *[]access, changed *bool) {
+	info := u.pkg.TypesInfo
+	if _, ok := n.(*ast.DeferStmt); ok {
+		// The registration point: the deferred call's body effects and
+		// accesses are handled where it runs, in the defer.run blocks.
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if fn := analysis.Callee(info, m); fn != nil {
+				if callee := c.nodeOf[fn.Origin()]; callee != nil {
+					narrowed := meetSets(c.entries[callee], s)
+					if !equalSets(narrowed, c.entries[callee]) {
+						c.entries[callee] = narrowed
+						*changed = true
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			if collect == nil || u.skip[m] {
+				return true
+			}
+			f := trackedField(info, m)
+			if f == nil || exemptBase(info, m, u.exempt) {
+				return true
+			}
+			*collect = append(*collect, access{field: f, pos: m.Pos(), locks: cloneSet(s)})
+		}
+		return true
+	})
+}
+
+// applyEffects folds the lock/unlock effects of one CFG node into s.
+func applyEffects(info *types.Info, n ast.Node, s lset) {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return // effects happen in the defer.run blocks
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if mu, acquire, ok := lockOp(info, call); ok {
+			if acquire {
+				s[mu] = true
+			} else {
+				delete(s, mu)
+			}
+		}
+		return true
+	})
+}
+
+// lockOp recognizes mu.Lock/RLock (acquire=true) and mu.Unlock/RUnlock
+// (acquire=false) on a sync.Mutex or sync.RWMutex, returning the mutex
+// variable (field or package-level var).
+func lockOp(info *types.Info, call *ast.CallExpr) (*types.Var, bool, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false, false
+	}
+	fn := analysis.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, false, false
+	}
+	var acquire bool
+	switch fn.Name() {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return nil, false, false
+	}
+	mu := mutexVar(info, sel.X)
+	if mu == nil {
+		return nil, false, false
+	}
+	return mu, acquire, true
+}
+
+// mutexVar resolves the receiver expression of a Lock/Unlock call to a
+// stable variable identity.
+func mutexVar(info *types.Info, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return v
+			}
+		}
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.UnaryExpr:
+		return mutexVar(info, e.X)
+	}
+	return nil
+}
+
+// trackedField resolves sel to a data field of a struct declared in the
+// protected packages: not an atomic wrapper (excluded by FieldOf), not a
+// sync.* field (the protection infrastructure itself).
+func trackedField(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	f := analysis.FieldOf(info, sel)
+	if f == nil || f.Pkg() == nil {
+		return nil
+	}
+	if !analysis.HasPathSuffix(f.Pkg().Path(), scope...) {
+		return nil
+	}
+	if named, ok := f.Type().(*types.Named); ok {
+		if p := named.Obj().Pkg(); p != nil && p.Path() == "sync" {
+			return nil
+		}
+	}
+	return f
+}
+
+// exemptBase reports whether the selector chain bottoms out in an
+// unpublished local: a struct value declared in this function or a local
+// holding a fresh allocation.
+func exemptBase(info *types.Info, sel *ast.SelectorExpr, exempt map[types.Object]bool) bool {
+	e := ast.Expr(sel)
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			obj := info.Uses[x]
+			if obj == nil {
+				obj = info.Defs[x]
+			}
+			return obj != nil && exempt[obj]
+		default:
+			return false
+		}
+	}
+}
+
+// prescan walks one declaration collecting (a) locals exempt from
+// checking (unpublished objects), (b) selectors consumed by sync/atomic
+// calls, and (c) the atomic accesses themselves.
+func prescan(pkg *analysis.Package, decl *ast.FuncDecl) (map[types.Object]bool, map[*ast.SelectorExpr]bool, []access) {
+	info := pkg.TypesInfo
+	exempt := map[types.Object]bool{}
+	skip := map[*ast.SelectorExpr]bool{}
+	var atomics []access
+	if decl.Body == nil {
+		return exempt, skip, atomics
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					continue // only fresh declarations (:=) are exempt
+				}
+				if isStructValue(obj) || isFreshAlloc(info, n.Rhs[i]) {
+					exempt[obj] = true
+				}
+			}
+		case *ast.ValueSpec:
+			// var s Shard, var p = new(Shard), ...
+			for i, id := range n.Names {
+				obj := info.Defs[id]
+				if obj == nil {
+					continue
+				}
+				if isStructValue(obj) || (i < len(n.Values) && isFreshAlloc(info, n.Values[i])) {
+					exempt[obj] = true
+				}
+			}
+		case *ast.CallExpr:
+			fn := analysis.Callee(info, n)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || fn.Signature().Recv() != nil {
+				return true
+			}
+			for _, arg := range n.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				skip[sel] = true
+				if f := trackedField(info, sel); f != nil && !exemptBase(info, sel, exempt) {
+					atomics = append(atomics, access{field: f, pos: sel.Pos(), atomic: true})
+				}
+			}
+		}
+		return true
+	})
+	return exempt, skip, atomics
+}
+
+// isFreshAlloc recognizes &T{...}, T{...}, and new(T).
+func isFreshAlloc(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, lit := ast.Unparen(e.X).(*ast.CompositeLit)
+			return lit
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok {
+				return b.Name() == "new"
+			}
+		}
+	}
+	return false
+}
+
+// isStructValue reports whether obj is a local variable of struct (not
+// pointer) type — a private copy no other goroutine can see.
+func isStructValue(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	_, isStruct := v.Type().Underlying().(*types.Struct)
+	return isStruct
+}
+
+// topLevelFuncLits returns the function literals directly inside decl
+// (not nested inside another literal); each becomes its own unit, and
+// nesting recurses naturally because a literal unit skips its own inner
+// literals during evaluation — but those inner literals still need
+// units, so all literals at any depth are returned here.
+func topLevelFuncLits(decl *ast.FuncDecl) []*ast.FuncLit {
+	var lits []*ast.FuncLit
+	if decl.Body == nil {
+		return lits
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+		}
+		return true
+	})
+	return lits
+}
+
+// report applies the per-field consistency rules to the collected
+// accesses.
+func (c *checker) report() {
+	byField := map[*types.Var][]access{}
+	var fields []*types.Var
+	for _, a := range c.accs {
+		if byField[a.field] == nil {
+			fields = append(fields, a.field)
+		}
+		byField[a.field] = append(byField[a.field], a)
+	}
+	sort.Slice(fields, func(i, j int) bool { return fields[i].Pos() < fields[j].Pos() })
+
+	fset := c.mp.Module.Fset
+	for _, f := range fields {
+		accs := byField[f]
+		sort.Slice(accs, func(i, j int) bool { return accs[i].pos < accs[j].pos })
+		var atomics, locked, bare []access
+		for _, a := range accs {
+			switch {
+			case a.atomic:
+				atomics = append(atomics, a)
+			case len(a.locks) > 0:
+				locked = append(locked, a)
+			default:
+				bare = append(bare, a)
+			}
+		}
+		switch {
+		case len(atomics) > 0 && len(locked)+len(bare) > 0:
+			at := fset.Position(atomics[0].pos)
+			for _, a := range append(locked, bare...) {
+				c.mp.Report(a.pos, "field %s is accessed with sync/atomic at %s:%d but plainly here (possibly in another function); pick one memory model",
+					f.Name(), filepath(at.Filename), at.Line)
+			}
+		case len(locked) > 0 && len(bare) > 0:
+			lockName := canonicalLock(locked[0].locks)
+			at := fset.Position(locked[0].pos)
+			for _, a := range bare {
+				c.mp.Report(a.pos, "field %s is protected by %s at %s:%d but accessed here without it; hold the lock on every access",
+					f.Name(), lockName, filepath(at.Filename), at.Line)
+			}
+		case len(locked) > 1:
+			canon := locked[0].locks
+			lockName := canonicalLock(canon)
+			at := fset.Position(locked[0].pos)
+			for _, a := range locked[1:] {
+				if intersects(a.locks, canon) {
+					continue
+				}
+				c.mp.Report(a.pos, "field %s is protected by %s at %s:%d but by %s here; one lock must own a field",
+					f.Name(), lockName, filepath(at.Filename), at.Line, canonicalLock(a.locks))
+			}
+		}
+	}
+}
+
+func intersects(a, b lset) bool {
+	for k := range a {
+		if b[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// canonicalLock names one lock of a non-empty set deterministically.
+func canonicalLock(s lset) string {
+	var names []string
+	for v := range s {
+		names = append(names, v.Name())
+	}
+	sort.Strings(names)
+	return names[0]
+}
+
+// filepath trims the long absolute prefix for readable diagnostics.
+func filepath(name string) string {
+	if i := strings.LastIndex(name, "/"); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}

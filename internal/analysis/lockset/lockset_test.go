@@ -1,0 +1,16 @@
+package lockset_test
+
+import (
+	"testing"
+
+	"github.com/graphbig/graphbig-go/internal/analysis"
+	"github.com/graphbig/graphbig-go/internal/analysis/lockset"
+)
+
+// TestLockset covers the per-field discipline rules (atomic/plain mix,
+// missing lock, competing locks), the interprocedural entry lock sets
+// (bump), the defer/unlock flow sensitivity, closure resets, the
+// constructor exemption, and cross-package field access.
+func TestLockset(t *testing.T) {
+	analysis.RunTest(t, lockset.Analyzer, "internal/concurrent", "example.com/client")
+}

@@ -1,0 +1,10 @@
+// Package client (fixture) accesses a protected field of a struct
+// declared in the concurrent fixture package: the discipline follows the
+// field, not the package doing the accessing.
+package client
+
+import "internal/concurrent"
+
+func Leak(c *concurrent.Counter) int {
+	return c.Pub // want "field Pub is protected by mu"
+}

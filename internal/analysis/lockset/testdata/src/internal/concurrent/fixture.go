@@ -1,0 +1,126 @@
+// Package concurrent (fixture) declares shared structs whose fields must
+// follow one protection discipline each. The interesting negatives are
+// interprocedural: bump is only ever called with the mutex held, so its
+// bare-looking accesses are fine — a same-function checker would flag
+// them.
+package concurrent
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Counter struct {
+	mu   sync.Mutex
+	n    int   // consistently mu-protected (including via bump)
+	m    int   // mu-protected in bump, bare in Peek and the closure
+	a    int64 // sync/atomic in IncA, plain in ReadA
+	w    int   // mu-protected in PutW, bare after the unlock in BadW
+	solo int   // always bare: single-goroutine phase data, no finding
+	Pub  int   // mu-protected here, bare in the client fixture package
+}
+
+func (c *Counter) Add(x int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bump(x)
+}
+
+// bump has no lock operations of its own; its entry lock set is the
+// intersection over its call sites — Add always holds mu, so these
+// accesses are classified as locked. No finding.
+func (c *Counter) bump(x int) {
+	c.n += x
+	c.m += x
+}
+
+func (c *Counter) Get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *Counter) Peek() int {
+	return c.m // want "field m is protected by mu at fixture.go:\\d+ but accessed here without it"
+}
+
+// Spawn shows why closures reset the lock set: the literal may run after
+// Spawn returned and unlocked.
+func (c *Counter) Spawn() func() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() { c.m++ } // want "field m is protected by mu"
+}
+
+func (c *Counter) IncA() { atomic.AddInt64(&c.a, 1) }
+
+func (c *Counter) ReadA() int64 {
+	return c.a // want "field a is accessed with sync/atomic at fixture.go:\\d+ but plainly here"
+}
+
+func (c *Counter) PutW(x int) {
+	c.mu.Lock()
+	c.w = x
+	c.mu.Unlock()
+}
+
+// BadW touches w after releasing the lock — the must-hold dataflow sees
+// the Unlock effect.
+func (c *Counter) BadW(x int) {
+	c.mu.Lock()
+	c.mu.Unlock()
+	c.w = x // want "field w is protected by mu at fixture.go:\\d+ but accessed here without it"
+}
+
+// MaybeLock only holds the lock on one branch; the meet at the join is
+// the intersection, so the access is not protected.
+func (c *Counter) MaybeLock(b bool, x int) {
+	if b {
+		c.mu.Lock()
+	}
+	c.w = x // want "field w is protected by mu"
+	if b {
+		c.mu.Unlock()
+	}
+}
+
+func (c *Counter) Bump2() {
+	c.solo++ // all accesses bare: consistent, no finding
+}
+
+func (c *Counter) Bump3() {
+	c.solo++
+}
+
+func (c *Counter) SetPub(x int) {
+	c.mu.Lock()
+	c.Pub = x
+	c.mu.Unlock()
+}
+
+// NewCounter publishes nothing until it returns: accesses through the
+// fresh allocation are exempt, even on otherwise-protected fields.
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.m = 1
+	c.w = 2
+	return c
+}
+
+// Pair's value is guarded by two different mutexes — no agreement.
+type Pair struct {
+	mu1, mu2 sync.Mutex
+	v        int
+}
+
+func (p *Pair) SetA(x int) {
+	p.mu1.Lock()
+	p.v = x
+	p.mu1.Unlock()
+}
+
+func (p *Pair) SetB(x int) {
+	p.mu2.Lock()
+	p.v = x // want "field v is protected by mu1 at fixture.go:\\d+ but by mu2 here"
+	p.mu2.Unlock()
+}

@@ -1,40 +1,111 @@
 package analysis
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 )
 
-// Vet loads the packages matching patterns (module packages only; the
-// standard-library closure is type-checked but never analyzed), applies
-// every analyzer, and writes one "file:line:col: message [analyzer]" line
-// per finding. It returns the number of findings. Test files are not
-// analyzed: the invariants protect shipped simulation and engine code.
-func Vet(w io.Writer, analyzers []*Analyzer, patterns ...string) (int, error) {
+// Finding is one diagnostic with its position resolved, the
+// serialization unit of graphbig-vet's text and JSON output modes.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// VetFindings loads the packages matching patterns (module packages only;
+// the standard-library closure is type-checked but never analyzed) and
+// applies the full suite: per-package analyzers to each package, module
+// analyzers once to the whole set. Findings come back sorted by file,
+// line, column. Test files are not analyzed: the invariants protect
+// shipped simulation and engine code.
+func VetFindings(analyzers []*Analyzer, patterns ...string) ([]Finding, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	l, err := NewLoader(".")
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	pkgs, err := l.Load(patterns...)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	count := 0
+	var finds []Finding
 	for _, pkg := range pkgs {
 		diags, err := RunAnalyzers(pkg, analyzers)
 		if err != nil {
-			return count, err
+			return nil, err
 		}
 		for _, d := range diags {
-			fmt.Fprintf(w, "%s: %s [%s]\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
-			count++
+			pos := pkg.Fset.Position(d.Pos)
+			finds = append(finds, Finding{File: pos.Filename, Line: pos.Line, Col: pos.Column, Analyzer: d.Analyzer, Message: d.Message})
 		}
 	}
-	return count, nil
+	m := NewModule(pkgs)
+	mdiags, err := RunModuleAnalyzers(m, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range mdiags {
+		pos := m.Fset.Position(d.Pos)
+		finds = append(finds, Finding{File: pos.Filename, Line: pos.Line, Col: pos.Column, Analyzer: d.Analyzer, Message: d.Message})
+	}
+	sort.Slice(finds, func(i, j int) bool {
+		a, b := finds[i], finds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return finds, nil
+}
+
+// Vet runs VetFindings and writes one "file:line:col: message [analyzer]"
+// line per finding — the format the CI problem matcher parses. It returns
+// the number of findings.
+func Vet(w io.Writer, analyzers []*Analyzer, patterns ...string) (int, error) {
+	finds, err := VetFindings(analyzers, patterns...)
+	if err != nil {
+		return 0, err
+	}
+	for _, f := range finds {
+		fmt.Fprintf(w, "%s:%d:%d: %s [%s]\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+	}
+	return len(finds), nil
+}
+
+// VetJSON runs VetFindings and writes the findings as a JSON array (empty
+// array, not null, for a clean tree — consumers can always range over
+// it). It returns the number of findings.
+func VetJSON(w io.Writer, analyzers []*Analyzer, patterns ...string) (int, error) {
+	finds, err := VetFindings(analyzers, patterns...)
+	if err != nil {
+		return 0, err
+	}
+	if finds == nil {
+		finds = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(finds); err != nil {
+		return 0, err
+	}
+	return len(finds), nil
 }
 
 // Doc renders a one-line-per-analyzer summary for -help output.

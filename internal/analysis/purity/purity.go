@@ -1,0 +1,161 @@
+// Package purity is the interprocedural complement of the determinism
+// analyzer. determinism flags nondeterminism at its source line, but only
+// inside the parity-critical packages; a parity function can still launder
+// a wall-clock read or a global rand draw through a helper that lives
+// outside the scope. purity closes that hole: it summarizes every declared
+// function in the module as pure or impure (calls time.Now, draws from the
+// global math/rand source, or ranges over a map outside the canonical
+// key-collection idiom — directly or through any chain of callees), then
+// reports each parity-scope call site whose callee is an impure module
+// function outside the parity scope. The diagnostic carries the call path
+// from the callee to the sin so the report at the caller names the leaf.
+//
+// Calls to callees inside the parity scope are not re-reported here:
+// determinism already flags the sin at its source. Interface calls are
+// resolved by CHA, so every module implementation of the invoked method is
+// checked; function values are followed through "ref" edges (taking a
+// reference to an impure function from parity code is reported, since the
+// reference exists to be called). Standard-library callees other than the
+// recognized leaf sins are assumed pure.
+package purity
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"github.com/graphbig/graphbig-go/internal/analysis"
+	"github.com/graphbig/graphbig-go/internal/analysis/determinism"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "purity",
+	Doc:       "report parity-scope calls into impure (nondeterministic) functions outside the parity scope",
+	RunModule: run,
+}
+
+// summary records why a function is impure: the sin kind and the witness
+// call chain from the function itself down to the leaf that commits it.
+type summary struct {
+	kind  string
+	chain []string
+}
+
+func name(n *analysis.CGNode) string {
+	if n.Fn.Pkg() != nil {
+		return n.Fn.Pkg().Name() + "." + n.Fn.Name()
+	}
+	return n.Fn.Name()
+}
+
+func run(mp *analysis.ModulePass) error {
+	cg := mp.Module.CallGraph()
+	nodes := cg.Declared()
+
+	// Seed with direct sins, then propagate impurity backwards over call
+	// edges to a fixpoint. Declared() order and per-node edge order are
+	// both deterministic, so the chosen witness chain is too.
+	sums := map[*analysis.CGNode]*summary{}
+	for _, n := range nodes {
+		if kind := directSin(n); kind != "" {
+			sums[n] = &summary{kind: kind, chain: []string{name(n)}}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range nodes {
+			if sums[n] != nil {
+				continue
+			}
+			for _, e := range n.Out {
+				s := sums[e.Callee]
+				if s == nil {
+					continue
+				}
+				sums[n] = &summary{kind: s.kind, chain: append([]string{name(n)}, s.chain...)}
+				changed = true
+				break
+			}
+		}
+	}
+
+	// Report at the scope boundary: parity caller, impure module callee
+	// outside the scope. One report per (site, message).
+	type finding struct {
+		pos token.Pos
+		msg string
+	}
+	seen := map[finding]bool{}
+	var findings []finding
+	for _, n := range nodes {
+		if !analysis.HasPathSuffix(n.Pkg.PkgPath, determinism.ParityScope...) {
+			continue
+		}
+		for _, e := range n.Out {
+			callee := e.Callee
+			if callee.Decl == nil || callee.Pkg == nil {
+				continue
+			}
+			if analysis.HasPathSuffix(callee.Pkg.PkgPath, determinism.ParityScope...) {
+				continue
+			}
+			s := sums[callee]
+			if s == nil {
+				continue
+			}
+			how := "call to"
+			if e.Kind == "ref" {
+				how = "reference to"
+			}
+			f := finding{
+				pos: e.Site.Pos(),
+				msg: fmt.Sprintf("%s %s %s (path: %s); parity-critical code must stay deterministic",
+					how, name(callee), s.kind, strings.Join(s.chain, " -> ")),
+			}
+			if !seen[f] {
+				seen[f] = true
+				findings = append(findings, f)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].pos != findings[j].pos {
+			return findings[i].pos < findings[j].pos
+		}
+		return findings[i].msg < findings[j].msg
+	})
+	for _, f := range findings {
+		mp.Report(f.pos, "%s", f.msg)
+	}
+	return nil
+}
+
+// directSin reports the nondeterminism a function body commits itself
+// (closure bodies included — the call graph attributes closures to their
+// enclosing declaration), or "" if none.
+func directSin(n *analysis.CGNode) string {
+	info := n.Pkg.TypesInfo
+	kind := ""
+	ast.Inspect(n.Decl, func(node ast.Node) bool {
+		if kind != "" {
+			return false
+		}
+		switch node := node.(type) {
+		case *ast.RangeStmt:
+			if analysis.IsMap(info, node.X) && !analysis.IsKeyCollectionRange(node) {
+				kind = "ranges over a map"
+			}
+		case *ast.CallExpr:
+			switch analysis.NondeterministicCall(info, node) {
+			case "time.Now":
+				kind = "calls time.Now"
+			case "the global math/rand source":
+				kind = "draws from the global math/rand source"
+			}
+		}
+		return true
+	})
+	return kind
+}

@@ -1,0 +1,16 @@
+package purity_test
+
+import (
+	"testing"
+
+	"github.com/graphbig/graphbig-go/internal/analysis"
+	"github.com/graphbig/graphbig-go/internal/analysis/purity"
+)
+
+// TestPurity exercises the interprocedural contract: every finding in the
+// fixture is reported at a parity-scope call site whose violation lives
+// only in the imported example.com/helpers package (loaded transitively —
+// it is not named here).
+func TestPurity(t *testing.T) {
+	analysis.RunTest(t, purity.Analyzer, "internal/workloads")
+}

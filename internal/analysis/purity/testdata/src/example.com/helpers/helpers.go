@@ -1,0 +1,58 @@
+// Package helpers is a purity fixture OUTSIDE the parity scope: the
+// determinism analyzer never looks at it, so its sins are visible only
+// interprocedurally, at the parity-scope call sites.
+package helpers
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp commits the sin directly.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Draw commits the other direct sin.
+func Draw() int { return rand.Int() }
+
+// Deep is impure only transitively: Deep -> mid -> Stamp.
+func Deep() int64 { return mid() }
+
+func mid() int64 { return Stamp() }
+
+// IterMap ranges over a map in a non-key-collection way.
+func IterMap(m map[int]int) int {
+	var s int
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Pure is deterministic and must produce no finding.
+func Pure(x int) int { return x + 1 }
+
+// CollectKeys uses the exempt key-collection idiom — pure.
+func CollectKeys(m map[int]bool) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Seeded builds an explicitly seeded generator — pure.
+func Seeded() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+// Sampler dispatches through an interface; purity resolves the
+// implementations by CHA.
+type Sampler interface{ Sample() int }
+
+// ClockSampler is an impure implementation.
+type ClockSampler struct{}
+
+func (ClockSampler) Sample() int { return int(time.Now().Unix()) }
+
+// FixedSampler is a pure implementation.
+type FixedSampler struct{ V int }
+
+func (f FixedSampler) Sample() int { return f.V }

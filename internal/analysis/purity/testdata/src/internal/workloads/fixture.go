@@ -1,0 +1,40 @@
+// Package workloads (fixture) is inside the parity scope; every call that
+// leaves the scope into an impure helper must be reported HERE, at the
+// caller — the violations live only in example.com/helpers.
+package workloads
+
+import (
+	"time"
+
+	"example.com/helpers"
+)
+
+func Run(m map[int]int) int64 {
+	t := helpers.Stamp()          // want "call to helpers.Stamp calls time.Now"
+	n := helpers.Draw()           // want "call to helpers.Draw draws from the global math/rand source"
+	d := helpers.Deep()           // want `call to helpers.Deep calls time.Now \(path: helpers.Deep -> helpers.mid -> helpers.Stamp\)`
+	s := helpers.IterMap(m)       // want "call to helpers.IterMap ranges over a map"
+	p := helpers.Pure(3)          // pure: no finding
+	k := helpers.CollectKeys(nil) // key-collection idiom: no finding
+	g := helpers.Seeded()         // explicitly seeded: no finding
+	return t + int64(n) + d + int64(s) + int64(p) + int64(len(k)) + g.Int63()
+}
+
+// TakeRef takes a reference to an impure helper; the reference exists to
+// be called, so purity reports it too.
+func TakeRef() func() int64 {
+	return helpers.Stamp // want "reference to helpers.Stamp calls time.Now"
+}
+
+// Dispatch calls through an interface; CHA resolves both module
+// implementations, and the impure one is reported at this call site.
+func Dispatch(s helpers.Sampler) int {
+	return s.Sample() // want "call to helpers.Sample calls time.Now"
+}
+
+// localImpure sins directly inside the parity scope. That is the
+// determinism analyzer's finding (at the time.Now line), not purity's:
+// the call below must NOT be reported here.
+func localImpure() int64 { return time.Now().UnixNano() }
+
+func callsLocal() int64 { return localImpure() }
