@@ -1,0 +1,214 @@
+// Command graphbig-bce is the ground truth behind the boundscheck
+// analyzer: it compiles the hot packages with the compiler's bounds
+// check debugging enabled (-d=ssa/check_bce/debug=1), counts the
+// IsInBounds / IsSliceInBounds checks the prove pass RETAINED per
+// file, and ratchets the counts against results/bce_baseline.json.
+//
+// The static analyzer reasons about what should be provable; this tool
+// measures what the compiler actually eliminated. The two disagree at
+// the margins (prove is flow-sensitive per SSA value, the analyzer is
+// interprocedural over summaries), so the contract is a ratchet, not
+// equality: a change that grows a file's retained-check count fails CI
+// until the baseline is deliberately rewritten with -write.
+//
+// A fresh GOCACHE is used for every run: cached package builds skip
+// the compiler entirely and report zero checks for untouched files,
+// which would let regressions hide behind the cache.
+//
+// Usage:
+//
+//	go run ./cmd/graphbig-bce            # compare against the baseline
+//	go run ./cmd/graphbig-bce -write    # rewrite the baseline
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+const module = "github.com/graphbig/graphbig-go"
+
+// hotPkgs mirrors the boundscheck analyzer's scope: the packages whose
+// inner loops pay a retained check per edge.
+var hotPkgs = []string{
+	"internal/engine",
+	"internal/csr",
+	"internal/concurrent",
+	"internal/workloads",
+}
+
+type baseline struct {
+	Note string `json:"note,omitempty"`
+	// History records notable before/after movements of the ratchet;
+	// -write preserves it.
+	History []string       `json:"history,omitempty"`
+	Files   map[string]int `json:"files"`
+}
+
+var foundRE = regexp.MustCompile(`^(.*\.go):\d+:\d+: Found Is(?:Slice)?InBounds$`)
+
+func main() {
+	write := flag.Bool("write", false, "rewrite the baseline with the measured counts")
+	path := flag.String("baseline", "results/bce_baseline.json", "baseline file")
+	flag.Parse()
+
+	files, err := measure()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphbig-bce:", err)
+		os.Exit(2)
+	}
+	if *write {
+		if err := writeBaseline(*path, files); err != nil {
+			fmt.Fprintln(os.Stderr, "graphbig-bce:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("graphbig-bce: wrote %s (%d files, %d retained checks)\n",
+			*path, len(files), total(files))
+		return
+	}
+	base, err := readBaseline(*path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphbig-bce:", err)
+		os.Exit(2)
+	}
+	regressed, improved := diff(base.Files, files)
+	for _, line := range regressed {
+		fmt.Println(line)
+	}
+	for _, line := range improved {
+		fmt.Println(line)
+	}
+	fmt.Printf("graphbig-bce: %d retained bounds checks across %d hot packages (baseline %d)\n",
+		total(files), len(hotPkgs), total(base.Files))
+	if len(regressed) > 0 {
+		fmt.Println("graphbig-bce: bounds-check regression; eliminate the checks or rerun with -write to accept")
+		os.Exit(1)
+	}
+	if len(improved) > 0 {
+		fmt.Println("graphbig-bce: improvement — rerun with -write to ratchet the baseline down")
+	}
+}
+
+// measure compiles the hot packages under a throwaway GOCACHE and
+// returns retained-check counts keyed by module-relative file path.
+func measure() (map[string]int, error) {
+	cache, err := os.MkdirTemp("", "graphbig-bce-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(cache)
+
+	args := []string{"build"}
+	for _, p := range hotPkgs {
+		args = append(args, "-gcflags="+module+"/"+p+"=-d=ssa/check_bce/debug=1")
+	}
+	for _, p := range hotPkgs {
+		args = append(args, "./"+p)
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Env = append(os.Environ(), "GOCACHE="+cache)
+	out, err := cmd.CombinedOutput()
+	files := map[string]int{}
+	matched := false
+	for _, line := range strings.Split(string(out), "\n") {
+		line = strings.TrimSpace(line)
+		m := foundRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		matched = true
+		files[relPath(m[1])]++
+	}
+	if err != nil && !matched {
+		return nil, fmt.Errorf("go build failed: %v\n%s", err, out)
+	}
+	return files, nil
+}
+
+// relPath normalizes a compiler-reported filename (absolute or
+// build-dir relative) to a module-relative, slash-separated path.
+func relPath(name string) string {
+	name = filepath.ToSlash(name)
+	for _, p := range hotPkgs {
+		if i := strings.Index(name, p+"/"); i >= 0 {
+			return name[i:]
+		}
+	}
+	return strings.TrimPrefix(name, "./")
+}
+
+func readBaseline(path string) (*baseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("%v (run with -write to create the baseline)", err)
+	}
+	var b baseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", path, err)
+	}
+	if b.Files == nil {
+		b.Files = map[string]int{}
+	}
+	return &b, nil
+}
+
+func writeBaseline(path string, files map[string]int) error {
+	b := baseline{
+		Note: "Retained bounds checks per file under -d=ssa/check_bce (go build, hot packages). " +
+			"Ratcheted by cmd/graphbig-bce in CI: growth fails, reductions should be written back.",
+		Files: files,
+	}
+	if prev, err := readBaseline(path); err == nil {
+		b.History = prev.History
+	}
+	raw, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// diff returns regression and improvement report lines comparing
+// measured counts to the baseline.
+func diff(base, got map[string]int) (regressed, improved []string) {
+	keys := map[string]bool{}
+	for f := range base {
+		keys[f] = true
+	}
+	for f := range got {
+		keys[f] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for f := range keys {
+		sorted = append(sorted, f)
+	}
+	sort.Strings(sorted)
+	for _, f := range sorted {
+		b, g := base[f], got[f]
+		switch {
+		case g > b:
+			regressed = append(regressed, fmt.Sprintf("REGRESSED %s: %d -> %d retained checks", f, b, g))
+		case g < b:
+			improved = append(improved, fmt.Sprintf("improved  %s: %d -> %d retained checks", f, b, g))
+		}
+	}
+	return regressed, improved
+}
+
+func total(files map[string]int) int {
+	n := 0
+	for _, c := range files {
+		n += c
+	}
+	return n
+}

@@ -6,10 +6,13 @@
 //
 // The suite has two layers: per-package analyzers (determinism,
 // trackedprim, hotloop, atomichygiene) and module analyzers (escape,
-// lockset, purity) that build a call graph over every loaded package and
-// reason across function and package boundaries. With -json, findings are
-// emitted as a JSON array of {file,line,col,analyzer,message} records
-// instead of text — the format CI uploads as annotations.
+// lockset, purity, boundscheck, overflowconv, divmod) that build a call
+// graph over every loaded package and reason across function and package
+// boundaries — the last three on top of a shared value-range abstract
+// interpretation (DESIGN.md §7). With -json, findings are emitted as a
+// JSON array of {file,line,col,analyzer,message} records instead of
+// text — the format CI uploads as annotations. With -debug=ranges, the
+// range-based analyzers append the inferred interval to each finding.
 //
 // Exit status is 0 when the tree is clean, 1 when any analyzer reports a
 // finding, 2 on internal failure (package loading or type errors). See
@@ -23,10 +26,13 @@ import (
 
 	"github.com/graphbig/graphbig-go/internal/analysis"
 	"github.com/graphbig/graphbig-go/internal/analysis/atomichygiene"
+	"github.com/graphbig/graphbig-go/internal/analysis/boundscheck"
 	"github.com/graphbig/graphbig-go/internal/analysis/determinism"
+	"github.com/graphbig/graphbig-go/internal/analysis/divmod"
 	"github.com/graphbig/graphbig-go/internal/analysis/escape"
 	"github.com/graphbig/graphbig-go/internal/analysis/hotloop"
 	"github.com/graphbig/graphbig-go/internal/analysis/lockset"
+	"github.com/graphbig/graphbig-go/internal/analysis/overflowconv"
 	"github.com/graphbig/graphbig-go/internal/analysis/purity"
 	"github.com/graphbig/graphbig-go/internal/analysis/trackedprim"
 )
@@ -42,15 +48,27 @@ func Analyzers() []*analysis.Analyzer {
 		escape.Analyzer,
 		lockset.Analyzer,
 		purity.Analyzer,
+		boundscheck.Analyzer,
+		overflowconv.Analyzer,
+		divmod.Analyzer,
 	}
 }
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array of {file,line,col,analyzer,message}")
+	debug := flag.String("debug", "", "debug mode: 'ranges' appends inferred value ranges to range-analyzer findings")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: graphbig-vet [-json] [packages]\n\nanalyzers:\n%s", analysis.Doc(Analyzers()))
+		fmt.Fprintf(os.Stderr, "usage: graphbig-vet [-json] [-debug=ranges] [packages]\n\nanalyzers:\n%s", analysis.Doc(Analyzers()))
 	}
 	flag.Parse()
+	switch *debug {
+	case "":
+	case "ranges":
+		analysis.SetDebug(true)
+	default:
+		fmt.Fprintf(os.Stderr, "graphbig-vet: unknown -debug mode %q (supported: ranges)\n", *debug)
+		os.Exit(2)
+	}
 	vet := analysis.Vet
 	if *jsonOut {
 		vet = analysis.VetJSON

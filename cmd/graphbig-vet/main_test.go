@@ -12,11 +12,14 @@ import (
 // multichecker with documentation and a runner (per-package or module).
 func TestAnalyzersRegistered(t *testing.T) {
 	as := Analyzers()
-	want := []string{"determinism", "trackedprim", "hotloop", "atomichygiene", "escape", "lockset", "purity"}
+	want := []string{"determinism", "trackedprim", "hotloop", "atomichygiene", "escape", "lockset", "purity", "boundscheck", "overflowconv", "divmod"}
 	if len(as) != len(want) {
 		t.Fatalf("Analyzers() = %d analyzers, want %d", len(as), len(want))
 	}
-	module := map[string]bool{"escape": true, "lockset": true, "purity": true}
+	module := map[string]bool{
+		"escape": true, "lockset": true, "purity": true,
+		"boundscheck": true, "overflowconv": true, "divmod": true,
+	}
 	for i, a := range as {
 		if a.Name != want[i] {
 			t.Errorf("analyzer %d = %q, want %q", i, a.Name, want[i])

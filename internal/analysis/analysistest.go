@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -11,6 +12,12 @@ import (
 	"strings"
 	"testing"
 )
+
+// -ranges.debug mirrors `graphbig-vet -debug=ranges` inside analyzer
+// tests: fixture findings carry the inferred intervals, which is how a
+// failing `// want` is diagnosed. Off by default — the wants match the
+// production messages.
+var debugRangesFlag = flag.Bool("ranges.debug", false, "append inferred value ranges to range-analyzer findings in RunTest")
 
 // RunTest loads each fixture package from <cwd>/testdata/src/<pkgpath>,
 // applies the analyzer, and compares its findings against `// want "re"`
@@ -29,6 +36,10 @@ import (
 // reporting of a violation that lives only in an imported helper.
 func RunTest(t *testing.T, a *Analyzer, pkgpaths ...string) {
 	t.Helper()
+	if *debugRangesFlag {
+		SetDebug(true)
+		defer SetDebug(false)
+	}
 	l, err := NewLoader(".")
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,12 @@
+package boundscheck_test
+
+import (
+	"testing"
+
+	"github.com/graphbig/graphbig-go/internal/analysis"
+	"github.com/graphbig/graphbig-go/internal/analysis/boundscheck"
+)
+
+func TestBoundsCheck(t *testing.T) {
+	analysis.RunTest(t, boundscheck.Analyzer, "internal/engine")
+}

@@ -1,0 +1,101 @@
+// Fixture for the boundscheck analyzer: slice indexing in nested hot
+// loops must be provably in bounds, with the re-slice and bounds-hint
+// idioms as the sanctioned discharge routes.
+package engine
+
+// Positive: i is bounded by len(a) but indexes b — no length link
+// between the two exists.
+func crossSlice(a, b []int32) int32 {
+	var s int32
+	for r := 0; r < 4; r++ {
+		for i := 0; i < len(a); i++ {
+			s += b[i] // want "index i not provably within len\\(b\\)"
+		}
+	}
+	return s
+}
+
+// Positive: the index runs one past the proven bound.
+func overrun(a []int32) int32 {
+	var s int32
+	for r := 0; r < 4; r++ {
+		for i := 0; i < len(a); i++ {
+			s += a[i+1] // want "not provably within len\\(a\\)"
+		}
+	}
+	return s
+}
+
+// Negative: indexing the slice that bounds the loop.
+func selfIndex(a []int32) int32 {
+	var s int32
+	for r := 0; r < 4; r++ {
+		for i := range a {
+			s += a[i]
+		}
+	}
+	return s
+}
+
+// Negative: siblings of the same make share a length.
+func makeSiblings(n int) int32 {
+	a := make([]int32, n)
+	b := make([]int32, n)
+	var s int32
+	for r := 0; r < 4; r++ {
+		for i := range a {
+			s += b[i]
+		}
+	}
+	return s
+}
+
+// Negative: the documented bounds-hint idiom — one assert before the
+// loop discharges every index inside it.
+func hinted(a, b []int32) int32 {
+	var s int32
+	for r := 0; r < 4; r++ {
+		n := len(a)
+		if n == 0 {
+			continue
+		}
+		_ = b[n-1]
+		for i := 0; i < n; i++ {
+			s += b[i]
+		}
+	}
+	return s
+}
+
+// Negative: the re-slice idiom pins the extent to the loop bound.
+func resliced(a, b []int32) int32 {
+	var s int32
+	for r := 0; r < 4; r++ {
+		d := b[:len(a)]
+		for i := range a {
+			s += d[i]
+		}
+	}
+	return s
+}
+
+// Negative: data-derived indexes (CSR neighbor IDs) are the loader's
+// validation contract, not the kernel's.
+func neighborLoads(off, nbr, dist []int32) int32 {
+	var s int32
+	for i := 0; i+1 < len(off); i++ {
+		for _, w := range nbr[off[i]:off[i+1]] {
+			s += dist[w]
+		}
+	}
+	return s
+}
+
+// Negative: depth-1 indexing is amortized per round and out of scope.
+func perRound(a, b []int32) int32 {
+	var s int32
+	for i := 0; i < len(a); i++ {
+		s += b[i]
+	}
+	return s
+}

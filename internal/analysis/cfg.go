@@ -40,6 +40,13 @@ type Block struct {
 	Nodes []ast.Node
 	Succs []*Block
 	Preds []*Block
+	// Cond is set on blocks that end by evaluating a branch condition
+	// with two distinct successors: Succs[0] is the true edge, Succs[1]
+	// the false edge. Nil everywhere else (including range heads, whose
+	// Succs[0]/Succs[1] are the body/done edges of the implicit
+	// "more elements?" test). Solver lattices use it for branch
+	// refinement via Lattice.EdgeTransfer.
+	Cond ast.Expr
 }
 
 func (b *Block) String() string { return fmt.Sprintf("b%d(%s)", b.Index, b.Kind) }
@@ -479,8 +486,14 @@ func (b *cfgBuilder) cond(e ast.Expr, t, f *Block) {
 	}
 	b.add(e)
 	if b.cur != nil {
-		addEdge(b.cur, t)
-		addEdge(b.cur, f)
+		cur := b.cur
+		addEdge(cur, t)
+		addEdge(cur, f)
+		// Only a two-way branch is a refinable condition; when t == f the
+		// dedupe collapses the edges and no truth value is learnable.
+		if len(cur.Succs) == 2 && cur.Succs[0] == t && cur.Succs[1] == f {
+			cur.Cond = e
+		}
 	}
 	b.cur = nil
 }

@@ -1,0 +1,14 @@
+package analysis
+
+// debugRanges toggles verbose diagnostics: when on, the range-based
+// analyzers append the inferred interval (and the bound they failed to
+// prove) to each finding. Enabled by `graphbig-vet -debug=ranges` and
+// by RunTest's debug parameter; off by default so finding messages stay
+// stable for the `// want` fixtures and the CI problem matcher.
+var debugRanges bool
+
+// SetDebug enables or disables range-debug output.
+func SetDebug(on bool) { debugRanges = on }
+
+// DebugEnabled reports whether range-debug output is on.
+func DebugEnabled() bool { return debugRanges }

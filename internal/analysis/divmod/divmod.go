@@ -1,0 +1,145 @@
+// Package divmod reports integer division and modulo whose divisor the
+// value-range analysis knows something about — and that something
+// includes zero — plus signed shift counts that may be negative. Both
+// are runtime panics in Go, and in graph code they surface on degenerate
+// inputs (empty partitions, zero-degree vertices) that unit tests
+// rarely cover.
+//
+// Noise control: a divisor the analysis knows nothing about (its
+// interval is just its type's range) is NOT reported — flagging every
+// `x / n` would bury the real findings. A report therefore always comes
+// with evidence: the analysis derived a non-trivial range for the
+// divisor (a length, a loop bound, a guard) and zero is inside it. The
+// fix is the guard the code is missing: `if n == 0` before the divide,
+// or a `%` against a length proven positive.
+package divmod
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/graphbig/graphbig-go/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "divmod",
+	Doc:       "report divisions/mods whose inferred divisor range includes zero and possibly-negative shift counts",
+	RunModule: run,
+}
+
+func run(mp *analysis.ModulePass) error {
+	cg := mp.Module.CallGraph()
+	ri := mp.Module.Ranges()
+	for _, n := range cg.Declared() {
+		if n.Decl.Body == nil {
+			continue
+		}
+		analysis.WalkUnits(n.Decl, func(m ast.Node, depth int, unit ast.Node) {
+			var op token.Token
+			var y ast.Expr
+			switch x := m.(type) {
+			case *ast.BinaryExpr:
+				op, y = x.Op, x.Y
+			case *ast.AssignStmt:
+				if len(x.Rhs) != 1 {
+					return
+				}
+				switch x.Tok {
+				case token.QUO_ASSIGN:
+					op, y = token.QUO, x.Rhs[0]
+				case token.REM_ASSIGN:
+					op, y = token.REM, x.Rhs[0]
+				case token.SHL_ASSIGN:
+					op, y = token.SHL, x.Rhs[0]
+				case token.SHR_ASSIGN:
+					op, y = token.SHR, x.Rhs[0]
+				default:
+					return
+				}
+			default:
+				return
+			}
+			switch op {
+			case token.QUO, token.REM:
+				checkDivisor(mp, ri, n, unit, op, y)
+			case token.SHL, token.SHR:
+				checkShift(mp, ri, n, unit, y)
+			}
+		})
+	}
+	return nil
+}
+
+func checkDivisor(mp *analysis.ModulePass, ri *analysis.RangeInfo, n *analysis.CGNode, unit ast.Node, op token.Token, y ast.Expr) {
+	info := n.Pkg.TypesInfo
+	tv, ok := info.Types[y]
+	if !ok || tv.Type == nil || !isInt(tv.Type) {
+		return // float division never panics; constants divide at compile time
+	}
+	if tv.Value != nil {
+		return // nonzero constant divisor (zero is a compile error)
+	}
+	fr := ri.ForFunc(n.Pkg, unit)
+	env := fr.EnvAt(y.Pos())
+	if env == nil {
+		return
+	}
+	ok, iv := fr.ProveNonZero(env, y)
+	if ok || !evidence(iv, tv.Type) {
+		return
+	}
+	word := "division"
+	if op == token.REM {
+		word = "modulo"
+	}
+	msg := word + " by " + analysis.ExprString(mp.Module.Fset, y) +
+		" whose inferred range " + iv.String() + " includes zero; guard with a zero check first"
+	mp.Report(y.Pos(), "%s", msg)
+}
+
+func checkShift(mp *analysis.ModulePass, ri *analysis.RangeInfo, n *analysis.CGNode, unit ast.Node, y ast.Expr) {
+	info := n.Pkg.TypesInfo
+	tv, ok := info.Types[y]
+	if !ok || tv.Type == nil || tv.Value != nil {
+		return // constant shift counts are compiler-checked
+	}
+	b, bok := tv.Type.Underlying().(*types.Basic)
+	if !bok || b.Info()&types.IsInteger == 0 || b.Info()&types.IsUnsigned != 0 {
+		return // unsigned counts cannot be negative
+	}
+	fr := ri.ForFunc(n.Pkg, unit)
+	env := fr.EnvAt(y.Pos())
+	if env == nil {
+		return
+	}
+	ok, iv := fr.ProveNonNeg(env, y)
+	if ok || !evidence(iv, tv.Type) {
+		return
+	}
+	msg := "shift count " + analysis.ExprString(mp.Module.Fset, y) +
+		" whose inferred range " + iv.String() + " includes negative values (a run-time panic); guard or use an unsigned count"
+	mp.Report(y.Pos(), "%s", msg)
+}
+
+// evidence reports whether the analysis learned something about the
+// LOW end of iv beyond what t's own range implies. Zero-divisor and
+// negative-shift hazards live at the low end, and requiring knowledge
+// there filters the pseudo-evidence arithmetic creates: `x - 1` on an
+// unknown x dents only the high endpoint of the type range, which says
+// nothing about zero.
+func evidence(iv analysis.Interval, t types.Type) bool {
+	if iv.IsFull() {
+		return false
+	}
+	tr, ok := analysis.TypeRange(t)
+	if !ok {
+		return false
+	}
+	return iv.Lo != tr.Lo
+}
+
+func isInt(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

@@ -1,0 +1,12 @@
+package divmod_test
+
+import (
+	"testing"
+
+	"github.com/graphbig/graphbig-go/internal/analysis"
+	"github.com/graphbig/graphbig-go/internal/analysis/divmod"
+)
+
+func TestDivMod(t *testing.T) {
+	analysis.RunTest(t, divmod.Analyzer, "internal/kernels")
+}

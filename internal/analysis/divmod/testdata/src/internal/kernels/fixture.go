@@ -1,0 +1,58 @@
+// Fixture for the divmod analyzer: divisions and mods whose inferred
+// divisor range includes zero, and shifts whose count may be negative.
+package kernels
+
+// Positive: a slice length divides — empty input panics.
+func meanDegree(deg []int64) int64 {
+	var s int64
+	for _, d := range deg {
+		s += d
+	}
+	return s / int64(len(deg)) // want "division by int64\\(len\\(deg\\)\\) .* includes zero"
+}
+
+// Positive: modulo by a counter that starts at zero.
+func wrap(x int) int {
+	k := 0
+	for i := 0; i < x; i++ {
+		k++
+	}
+	return x % k // want "modulo by k .* includes zero"
+}
+
+// Positive: the len-1 shift count underflows on empty input.
+func shiftByDegree(x int64, deg []int64) int64 {
+	b := len(deg) - 1
+	return x >> b // want "shift count b .* includes negative values"
+}
+
+// Negative: the zero guard the analyzer asks for.
+func meanGuarded(deg []int64) int64 {
+	if len(deg) == 0 {
+		return 0
+	}
+	var s int64
+	for _, d := range deg {
+		s += d
+	}
+	return s / int64(len(deg))
+}
+
+// Negative: defaulting establishes a positive divisor.
+func shards(n, hint int) int {
+	if hint <= 0 {
+		hint = 256
+	}
+	return n / hint
+}
+
+// Negative (noise control): a divisor the analysis knows nothing
+// about is not reported.
+func unknown(a, b int) int {
+	return a / b
+}
+
+// Negative: unsigned shift counts cannot be negative.
+func shiftUnsigned(x int64, b uint) int64 {
+	return x >> b
+}

@@ -1,7 +1,10 @@
 package analysis
 
 import (
+	"bytes"
 	"go/ast"
+	"go/printer"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -163,6 +166,57 @@ func WalkLoopDepth(root ast.Node, visit func(n ast.Node, depth int)) {
 		})
 	}
 	walk(root, 0)
+}
+
+// WalkUnits visits every node under decl with its lexical loop depth
+// and innermost function unit (decl itself, or the nearest enclosing
+// FuncLit). Loop depth crosses FuncLit boundaries unchanged, matching
+// WalkLoopDepth: a closure body inside a hot loop still runs per
+// iteration — but range facts must be queried against the closure's
+// own unit, which is what the unit argument names.
+func WalkUnits(decl *ast.FuncDecl, visit func(n ast.Node, depth int, unit ast.Node)) {
+	var walk func(n ast.Node, depth int, unit ast.Node)
+	walk = func(n ast.Node, depth int, unit ast.Node) {
+		if n == nil {
+			return
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch s := m.(type) {
+			case nil:
+				return false
+			case *ast.ForStmt:
+				visit(m, depth, unit)
+				walk(s.Init, depth, unit)
+				walk(s.Cond, depth+1, unit)
+				walk(s.Post, depth+1, unit)
+				walk(s.Body, depth+1, unit)
+				return false
+			case *ast.RangeStmt:
+				visit(m, depth, unit)
+				walk(s.X, depth, unit)
+				walk(s.Key, depth+1, unit)
+				walk(s.Value, depth+1, unit)
+				walk(s.Body, depth+1, unit)
+				return false
+			case *ast.FuncLit:
+				visit(m, depth, unit)
+				walk(s.Body, depth, m)
+				return false
+			}
+			visit(m, depth, unit)
+			return true
+		})
+	}
+	walk(decl.Body, 0, decl)
+}
+
+// ExprString renders an expression for a finding message.
+func ExprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "<expr>"
+	}
+	return buf.String()
 }
 
 // NamedIn reports whether t (after stripping pointers) is the named type

@@ -16,9 +16,10 @@ type Module struct {
 	Pkgs []*Package
 	Fset *token.FileSet
 
-	mu   sync.Mutex
-	cg   *CallGraph
-	cfgs map[*CGNode]*CFG
+	mu     sync.Mutex
+	cg     *CallGraph
+	cfgs   map[*CGNode]*CFG
+	ranges *RangeInfo
 }
 
 // NewModule wraps pkgs (which must share one FileSet, as Loader
@@ -39,6 +40,17 @@ func (m *Module) CallGraph() *CallGraph {
 		m.cg = BuildCallGraph(m.Pkgs)
 	}
 	return m.cg
+}
+
+// Ranges returns the module's shared value-range analysis cache,
+// creating it on first use.
+func (m *Module) Ranges() *RangeInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.ranges == nil {
+		m.ranges = newRangeInfo(m)
+	}
+	return m.ranges
 }
 
 // CFGOf returns the control-flow graph of a declared node, cached.

@@ -1,0 +1,51 @@
+// Fixture for the overflowconv analyzer: width-reducing integer
+// conversions need a dominating range guard (or the checked helpers
+// built on one).
+package property
+
+// Positive: nothing bounds n.
+func toID(n int) int32 {
+	return int32(n) // want "narrowing conversion int32\\(n\\) from int"
+}
+
+// Positive: a 64-bit size into a 32-bit record field.
+func toSize(n uint64) uint32 {
+	return uint32(n) // want "narrowing conversion uint32\\(n\\) from uint64"
+}
+
+// Negative: the checked-helper guard shape — a single dominating
+// comparison whose panic edge leaves the conversion's range proven.
+func toIDGuarded(n int) int32 {
+	if n < 0 || n > 1<<31-1 {
+		panic("index overflows int32")
+	}
+	return int32(n)
+}
+
+// Negative: a loop counter inherits its bound's proven range.
+func counters(m []int8) []int32 {
+	out := make([]int32, 0, len(m))
+	if len(m) > 1<<31-1 {
+		panic("too long")
+	}
+	for i := 0; i < len(m); i++ {
+		out = append(out, int32(i))
+	}
+	return out
+}
+
+// Negative: widening is always value-preserving.
+func widen(x int32) int64 {
+	return int64(x)
+}
+
+// Negative: same-width sign reinterpretation is deliberate in hashing
+// and encoding code.
+func reinterpret(x int64) uint64 {
+	return uint64(x)
+}
+
+// Negative: constant conversions are the type checker's department.
+func constants() int32 {
+	return int32(7)
+}

@@ -1,0 +1,267 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RangeInfo is the module-level range-analysis cache: lazily solved
+// per-unit FuncRanges plus interprocedural summaries propagated over
+// the call graph — return-value intervals for called functions and
+// parameter intervals joined over all observed call sites.
+//
+// Summaries are demand-driven with two tiers to keep the recursion
+// well-founded: "base" FuncRanges analyze a function with only its
+// parameter types as entry facts (they may consult callee return
+// summaries, with a cycle guard that degrades recursive cycles to the
+// type range), and "refined" FuncRanges — what analyzers query — add
+// call-site parameter summaries computed from the callers' base
+// analyses. Symbolic endpoints never cross a function boundary: they
+// name caller locals, so summaries are concretized first.
+type RangeInfo struct {
+	m *Module
+
+	base    map[ast.Node]*FuncRanges
+	refined map[ast.Node]*FuncRanges
+	rets    map[*types.Func]Interval
+	retBusy map[*types.Func]bool
+	params  map[*types.Func][]Interval
+	prmBusy map[*types.Func]bool
+}
+
+func newRangeInfo(m *Module) *RangeInfo {
+	return &RangeInfo{
+		m:       m,
+		base:    map[ast.Node]*FuncRanges{},
+		refined: map[ast.Node]*FuncRanges{},
+		rets:    map[*types.Func]Interval{},
+		retBusy: map[*types.Func]bool{},
+		params:  map[*types.Func][]Interval{},
+		prmBusy: map[*types.Func]bool{},
+	}
+}
+
+// ForFunc returns the refined range analysis of unit (a FuncDecl of
+// pkg, or a FuncLit — closures get an unconstrained entry, since the
+// call graph flattens them into their enclosing declaration).
+func (ri *RangeInfo) ForFunc(pkg *Package, unit ast.Node) *FuncRanges {
+	if fr, ok := ri.refined[unit]; ok {
+		return fr
+	}
+	var entry *Env
+	if fd, ok := unit.(*ast.FuncDecl); ok {
+		entry = ri.entryEnv(pkg, fd)
+	}
+	fr := analyzeUnit(pkg.TypesInfo, unit, entry, ri.retInterval)
+	ri.refined[unit] = fr
+	return fr
+}
+
+// baseFor is ForFunc without parameter summaries — the tier summaries
+// themselves are computed from.
+func (ri *RangeInfo) baseFor(pkg *Package, unit ast.Node) *FuncRanges {
+	if fr, ok := ri.base[unit]; ok {
+		return fr
+	}
+	fr := analyzeUnit(pkg.TypesInfo, unit, nil, ri.retInterval)
+	ri.base[unit] = fr
+	return fr
+}
+
+// entryEnv builds the entry environment of a declaration from its
+// parameter summaries.
+func (ri *RangeInfo) entryEnv(pkg *Package, fd *ast.FuncDecl) *Env {
+	fn, _ := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return nil
+	}
+	ivs := ri.paramIntervals(fn)
+	if ivs == nil {
+		return nil
+	}
+	env := &Env{}
+	sig := fn.Signature()
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if iv := ivs[i]; !iv.IsFull() && isIntType(p.Type()) {
+			env.setVar(p, iv)
+		}
+	}
+	return env
+}
+
+// retInterval is the callee-return hook handed to every funcAnalysis:
+// the joined, concretized interval over the callee's return statements
+// for single-result integer functions declared in the module; the type
+// range otherwise. Recursion through the call graph is cut by the busy
+// set (a cycle member's callees see its type range).
+func (ri *RangeInfo) retInterval(fn *types.Func) Interval {
+	fn = fn.Origin()
+	if iv, ok := ri.rets[fn]; ok {
+		return iv
+	}
+	full := Full()
+	sig := fn.Signature()
+	if sig.Results().Len() != 1 || !isIntType(sig.Results().At(0).Type()) {
+		return full
+	}
+	if tr, ok := TypeRange(sig.Results().At(0).Type()); ok {
+		full = tr
+	}
+	if iv, ok := stdlibRanges[fn.FullName()]; ok {
+		ri.rets[fn] = iv
+		return iv
+	}
+	node := ri.m.CallGraph().Node(fn)
+	if node == nil || node.Decl == nil || node.Pkg == nil || ri.retBusy[fn] {
+		return full
+	}
+	ri.retBusy[fn] = true
+	defer delete(ri.retBusy, fn)
+	fr := ri.baseFor(node.Pkg, node.Decl)
+	var joined *Interval
+	sound := true
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		if !sound {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			if len(x.Results) != 1 {
+				sound = false // bare return through a named result
+				return false
+			}
+			env := fr.EnvAt(x.Pos())
+			if env == nil {
+				return false // unreachable return contributes nothing
+			}
+			iv := concretizeIv(env, fr.Eval(env, x.Results[0]))
+			if joined == nil {
+				joined = &iv
+			} else {
+				j := joined.Join(iv)
+				joined = &j
+			}
+		}
+		return true
+	})
+	iv := full
+	if sound && joined != nil {
+		iv = full.Meet(*joined)
+	}
+	ri.rets[fn] = iv
+	return iv
+}
+
+// paramIntervals joins the concretized argument intervals over every
+// observed call site of fn, or nil when the closed-world premise fails
+// (fn is referenced as a value, is variadic, or has no analyzable
+// call sites).
+func (ri *RangeInfo) paramIntervals(fn *types.Func) []Interval {
+	fn = fn.Origin()
+	if ivs, ok := ri.params[fn]; ok {
+		return ivs
+	}
+	if ri.prmBusy[fn] {
+		return nil
+	}
+	ri.prmBusy[fn] = true
+	defer delete(ri.prmBusy, fn)
+	sig := fn.Signature()
+	if sig.Variadic() || sig.Params().Len() == 0 {
+		ri.params[fn] = nil
+		return nil
+	}
+	node := ri.m.CallGraph().Node(fn)
+	if node == nil || node.Decl == nil {
+		ri.params[fn] = nil
+		return nil
+	}
+	var ivs []Interval
+	for _, e := range node.In {
+		if e.Kind == "ref" {
+			ivs = nil
+			break
+		}
+		call, ok := e.Site.(*ast.CallExpr)
+		if !ok || e.Caller.Decl == nil || e.Caller.Pkg == nil ||
+			len(call.Args) != sig.Params().Len() {
+			ivs = nil
+			break
+		}
+		fr := ri.baseFor(e.Caller.Pkg, e.Caller.Decl)
+		env := fr.EnvAt(call.Pos())
+		if env == nil {
+			continue // call in unreachable code constrains nothing
+		}
+		if ivs == nil {
+			ivs = make([]Interval, sig.Params().Len())
+			for i := range ivs {
+				ivs[i] = Interval{Lo: PosInf(), Hi: NegInf()} // bottom: join identity
+			}
+		}
+		for i := range ivs {
+			arg := concretizeIv(env, fr.Eval(env, call.Args[i]))
+			if ivs[i].Lo.Inf == +1 { // still bottom
+				ivs[i] = arg
+			} else {
+				ivs[i] = ivs[i].Join(arg)
+			}
+		}
+	}
+	if ivs != nil {
+		for i := range ivs {
+			if ivs[i].Lo.Inf == +1 {
+				ivs = nil // no live call site reached the join
+				break
+			}
+		}
+	}
+	ri.params[fn] = ivs
+	return ivs
+}
+
+// stdlibRanges carries return ranges of pure standard-library functions
+// the hot paths lean on — bit counts are bounded by the word width no
+// matter the argument, which is what proves int32(bits.TrailingZeros64(w))
+// style packing.
+var stdlibRanges = map[string]Interval{
+	"math/bits.LeadingZeros":    {Lo: ConstBound(0), Hi: ConstBound(64)},
+	"math/bits.LeadingZeros8":   {Lo: ConstBound(0), Hi: ConstBound(8)},
+	"math/bits.LeadingZeros16":  {Lo: ConstBound(0), Hi: ConstBound(16)},
+	"math/bits.LeadingZeros32":  {Lo: ConstBound(0), Hi: ConstBound(32)},
+	"math/bits.LeadingZeros64":  {Lo: ConstBound(0), Hi: ConstBound(64)},
+	"math/bits.TrailingZeros":   {Lo: ConstBound(0), Hi: ConstBound(64)},
+	"math/bits.TrailingZeros8":  {Lo: ConstBound(0), Hi: ConstBound(8)},
+	"math/bits.TrailingZeros16": {Lo: ConstBound(0), Hi: ConstBound(16)},
+	"math/bits.TrailingZeros32": {Lo: ConstBound(0), Hi: ConstBound(32)},
+	"math/bits.TrailingZeros64": {Lo: ConstBound(0), Hi: ConstBound(64)},
+	"math/bits.OnesCount":       {Lo: ConstBound(0), Hi: ConstBound(64)},
+	"math/bits.OnesCount8":      {Lo: ConstBound(0), Hi: ConstBound(8)},
+	"math/bits.OnesCount16":     {Lo: ConstBound(0), Hi: ConstBound(16)},
+	"math/bits.OnesCount32":     {Lo: ConstBound(0), Hi: ConstBound(32)},
+	"math/bits.OnesCount64":     {Lo: ConstBound(0), Hi: ConstBound(64)},
+	"math/bits.Len":             {Lo: ConstBound(0), Hi: ConstBound(64)},
+	"math/bits.Len8":            {Lo: ConstBound(0), Hi: ConstBound(8)},
+	"math/bits.Len16":           {Lo: ConstBound(0), Hi: ConstBound(16)},
+	"math/bits.Len32":           {Lo: ConstBound(0), Hi: ConstBound(32)},
+	"math/bits.Len64":           {Lo: ConstBound(0), Hi: ConstBound(64)},
+}
+
+// concretizeIv strips caller-scoped symbols from a summary interval,
+// keeping the tightest concrete frame the environment proves.
+func concretizeIv(env *Env, iv Interval) Interval {
+	if iv.Lo.Sym == nil && iv.Hi.Sym == nil {
+		return iv
+	}
+	c := env.concrete(iv)
+	if iv.Lo.Sym == nil {
+		c.Lo = iv.Lo
+	}
+	if iv.Hi.Sym == nil {
+		c.Hi = iv.Hi
+	}
+	return c
+}

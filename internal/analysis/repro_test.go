@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/types"
+	"testing"
+)
+
+// obj resolves the defined variable named name (for symbolic-bound
+// assertions).
+func (ru *rangeUnit) obj(name string) types.Object {
+	for id, o := range ru.info.Defs {
+		if o == nil || id.Name != name {
+			continue
+		}
+		if v, ok := o.(*types.Var); ok && !v.IsField() {
+			return o
+		}
+	}
+	ru.t.Fatalf("no variable %q defined", name)
+	return nil
+}
+
+// TestPow2ShardRounding is a regression test for the shard-count
+// rounding idiom in internal/property: a guard establishes ns >= 1, a
+// power-of-two loop grows p past ns, and ns is then overwritten with p.
+// It exercises three soundness fixes at once — killObj concretizing
+// dependent endpoints instead of dropping them, refineLo rejecting
+// symbolic candidates with widened (vacuous) frames, and joinEnvs
+// concretizing incomparable endpoints against their own side before
+// collapsing to infinity. Any regression shows up as ns.Lo = -inf at
+// the division.
+func TestPow2ShardRounding(t *testing.T) {
+	ru := buildRangeUnit(t, `
+func f(hint, shards int) int {
+	ns := shards
+	if ns <= 0 {
+		ns = 256
+	}
+	p := 1
+	for p < ns {
+		p <<= 1
+	}
+	ns = p
+	return hint / /*here*/ ns
+}`)
+	env := ru.envAt("/*here*/")
+	ns := ru.ivOf(env, "ns")
+	if ns.Lo != ConstBound(1) {
+		t.Errorf("ns.Lo = %s after shard rounding, want 1", ns.Lo)
+	}
+	p := ru.ivOf(env, "p")
+	if p.Lo != ConstBound(1) {
+		t.Errorf("p.Lo = %s after the doubling loop, want 1", p.Lo)
+	}
+}
+
+// TestLoopExitVarBound: the exit edge of `for p < n` records p >= n
+// even though p is reassigned inside the loop — the relation is
+// re-derived from the loop's own condition each iteration.
+func TestLoopExitVarBound(t *testing.T) {
+	ru := buildRangeUnit(t, `
+func f(x, n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return x / /*here*/ p
+}`)
+	env := ru.envAt("/*here*/")
+	p := ru.ivOf(env, "p")
+	if p.Lo != SymBound(ru.obj("n"), 0, false) {
+		t.Errorf("p.Lo = %s at loop exit, want n", p.Lo)
+	}
+}
+
+// TestGuardDefaulting: the plain `if ns <= 0 { ns = 256 }` defaulting
+// idiom joins to ns >= 1 after the branch.
+func TestGuardDefaulting(t *testing.T) {
+	ru := buildRangeUnit(t, `
+func f(x, n int) int {
+	ns := n
+	if ns <= 0 {
+		ns = 256
+	}
+	return x / /*here*/ ns
+}`)
+	env := ru.envAt("/*here*/")
+	ns := ru.ivOf(env, "ns")
+	if ns.Lo != ConstBound(1) {
+		t.Errorf("ns.Lo = %s after defaulting guard, want 1", ns.Lo)
+	}
+}
+
+// lnOf returns the tracked length interval of the slice variable named
+// name, Full when no fact is recorded.
+func (ru *rangeUnit) lnOf(env *Env, name string) Interval {
+	if iv, ok := env.lens[ru.obj(name)]; ok {
+		return iv
+	}
+	return Full()
+}
+
+// TestCrossSliceMakeLen: two make(n) siblings share a length, so an
+// index ranging over one proves in bounds against the other — the
+// Brandes sigma/dist pattern. Regression for extentOf preferring the
+// symbolic point of make's length argument over its concrete range.
+func TestCrossSliceMakeLen(t *testing.T) {
+	ru := buildRangeUnit(t, `
+func f(n, k int) {
+	sigma := make([]float64, n)
+	dist := make([]int32, n)
+	for s := 0; s < k; s++ {
+		for i := range sigma {
+			sigma[i] = 0
+			_ = dist[i]
+		}
+		dist[0] = 1
+	}
+}`)
+	env := ru.envAt("_ = dist")
+	nSym := SymBound(ru.obj("n"), 0, false)
+	if got := ru.lnOf(env, "sigma"); got.Lo != nSym || got.Hi != nSym {
+		t.Errorf("len(sigma) = %s inside the loop, want [n, n]", got)
+	}
+	if ok, iv := ru.proveIndexAt("dist[i]"); !ok {
+		t.Errorf("dist[i] not provable (index range %s)", iv)
+	}
+}
+
+// TestConversionPointRefinement: a conversion whose operand provably
+// fits the target is value-preserving, so `i < int32(n)` bounds i by
+// the symbolic n — what lets buf[i] (len n) prove — rather than by
+// MaxInt32.
+func TestConversionPointRefinement(t *testing.T) {
+	ru := buildRangeUnit(t, `
+func f(n int) {
+	buf := make([]bool, n)
+	if n < 0 {
+		return
+	}
+	if n > 1<<31-1 {
+		return
+	}
+	for i := int32(0); i < int32(n); i++ {
+		_ = buf[i]
+	}
+}`)
+	if ok, iv := ru.proveIndexAt("buf[i]"); !ok {
+		t.Errorf("buf[i] not provable (index range %s)", iv)
+	}
+}

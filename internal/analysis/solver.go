@@ -34,6 +34,20 @@ type Lattice[F any] struct {
 	// Transfer computes the block's output fact from its input fact. It
 	// must not mutate in; allocate a new fact when the block changes it.
 	Transfer func(b *Block, in F) F
+	// EdgeTransfer, when set, refines the fact flowing along one edge
+	// before it is merged into the target block — the hook for branch
+	// refinement (from.Cond with Succs[0]/Succs[1] as the true/false
+	// edges) and range-head key binding. It must not mutate out.
+	// Optional; ignored for Backward problems.
+	EdgeTransfer func(from, to *Block, out F) F
+	// Widen, when set, accelerates convergence on lattices of unbounded
+	// height (e.g. intervals): at the target of a retreating edge whose
+	// input keeps changing, the solver replaces the merged fact with
+	// Widen(old, merged), which must be an upper bound of both and must
+	// stabilize after finitely many applications. The first change along
+	// a retreating edge is merged exactly (so simple symbolic joins keep
+	// full precision); widening kicks in from the second change on.
+	Widen func(old, merged F) F
 }
 
 // Result holds the fixed-point facts per block: In is the fact on entry
@@ -86,6 +100,14 @@ func Solve[F any](c *CFG, dir Direction, lat Lattice[F]) Result[F] {
 		}
 		return b.Preds
 	}
+	// backChanges counts fact changes arriving over retreating edges per
+	// block, so widening starts only on the second change: the first join
+	// at a loop head is often already precise (symbolic bounds), and
+	// widening it away would cost proofs for nothing.
+	var backChanges map[*Block]int
+	if lat.Widen != nil {
+		backChanges = map[*Block]int{}
+	}
 	for len(work) > 0 {
 		b := work[0]
 		work = work[1:]
@@ -96,9 +118,21 @@ func Solve[F any](c *CFG, dir Direction, lat Lattice[F]) Result[F] {
 			if _, reachable := pos[next]; !reachable {
 				continue
 			}
-			merged := lat.Meet(res.In[next], out)
+			eff := out
+			if lat.EdgeTransfer != nil && dir == Forward {
+				eff = lat.EdgeTransfer(b, next, out)
+			}
+			merged := lat.Meet(res.In[next], eff)
 			if next == boundary {
 				merged = lat.Meet(merged, lat.Boundary)
+			}
+			if !lat.Equal(merged, res.In[next]) {
+				if lat.Widen != nil && pos[b] >= pos[next] { // retreating edge
+					backChanges[next]++
+					if backChanges[next] >= 2 {
+						merged = lat.Widen(res.In[next], merged)
+					}
+				}
 			}
 			if !lat.Equal(merged, res.In[next]) {
 				res.In[next] = merged

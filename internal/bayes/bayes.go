@@ -29,8 +29,14 @@ type Node struct {
 }
 
 // Configs returns the number of parent configurations of n (the CPT row
-// count).
-func (n *Node) Configs() int { return len(n.CPT) / int(n.States) }
+// count), 0 for a malformed node with no states.
+func (n *Node) Configs() int {
+	s := int(n.States)
+	if s <= 0 {
+		return 0
+	}
+	return len(n.CPT) / s
+}
 
 // Network is a Bayesian network with a simulated address layout, so the
 // Gibbs workload's CPT lookups and state reads flow into the profiler.

@@ -83,8 +83,14 @@ func (b *Bitmap) Count() int {
 // calls; the engine uses it between pull phases to sparsify a dense
 // frontier.
 func (b *Bitmap) AppendSet(dst []int32) []int32 {
-	for wi := range b.words {
-		w := b.words[wi].Load()
+	words := b.words
+	if len(words) > (1<<31-1)/64 {
+		// Bit indices are produced as int32 vertex IDs below; a bitmap
+		// this large cannot have been built from int32 IDs.
+		panic("concurrent: bitmap too large for int32 vertex IDs")
+	}
+	for wi := range words {
+		w := words[wi].Load()
 		base := int32(wi << 6)
 		for w != 0 {
 			dst = append(dst, base+int32(bits.TrailingZeros64(w)))
@@ -121,7 +127,19 @@ func (f *Frontier) Push(v int32) {
 
 // Slice returns the current contents. Callers must not Push concurrently
 // with Slice use.
-func (f *Frontier) Slice() []int32 { return f.buf[:f.len.Load()] }
+func (f *Frontier) Slice() []int32 {
+	buf := f.buf
+	n := int(f.len.Load())
+	// Push bounds n by len(buf) (it panics first), and the counter only
+	// moves up from zero; the guard restates that invariant where the
+	// compiler's prove pass can see it, so the re-slice — inlined into
+	// every traversal round — needs no bounds check. The fallthrough is
+	// unreachable.
+	if n >= 0 && n <= len(buf) {
+		return buf[:n]
+	}
+	return buf
+}
 
 // Len returns the number of queued entries.
 func (f *Frontier) Len() int { return int(f.len.Load()) }
@@ -225,9 +243,15 @@ func NewCounter() *Counter {
 	return &Counter{shards: make([]paddedInt64, runtime.GOMAXPROCS(0))}
 }
 
-// Add adds delta using shard s (callers pass their worker index).
+// Add adds delta using shard s (callers pass their worker index). A
+// zero-value Counter has no shards and drops the add instead of
+// panicking on the modulo.
 func (c *Counter) Add(s int, delta int64) {
-	c.shards[s%len(c.shards)].v.Add(delta)
+	ns := len(c.shards)
+	if ns == 0 {
+		return
+	}
+	c.shards[s%ns].v.Add(delta)
 }
 
 // Value returns the current total.

@@ -116,9 +116,10 @@ func (c *Graph) ToCOO() *COO {
 		Dst: make([]int32, len(c.Col)),
 		W:   make([]float64, len(c.Col)),
 	}
-	for i := 0; i < c.N; i++ {
+	n := property.Index32(c.N)
+	for i := int32(0); i < n; i++ {
 		for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
-			co.Src[k] = int32(i)
+			co.Src[k] = i
 			co.Dst[k] = c.Col[k]
 			co.W[k] = c.W[k]
 		}
@@ -144,7 +145,8 @@ func (c *Graph) WAddr(k int64) uint64 { return c.wAddr + uint64(k)*8 }
 // ForEachVertex+Neighbors sweep).
 func (c *Graph) TraverseInstrumented(t mem.Tracker) uint64 {
 	var sum uint64
-	for i := int32(0); i < int32(c.N); i++ {
+	n := property.Index32(c.N)
+	for i := int32(0); i < n; i++ {
 		t.Load(c.RowAddr(i), 8)
 		t.Load(c.RowAddr(i+1), 8)
 		t.Inst(4)

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"github.com/graphbig/graphbig-go/internal/concurrent"
+	"github.com/graphbig/graphbig-go/internal/property"
 )
 
 // Spec configures one Traverse call. Dist is the only required field: it is
@@ -195,18 +196,23 @@ func (e *Engine) pullPhase(spec *Spec, cur *concurrent.Frontier, round *int32, s
 		r := *round
 		e.ForChunks(func(lo, hi int) {
 			var p int64
-			for v := lo; v < hi; v++ {
-				if dist[v] >= 0 {
+			// Re-slice to the chunk extent: d's range index needs no
+			// bounds check, where dist[v] cost one per probe.
+			d := dist[lo:hi]
+			for dv := range d {
+				if d[dv] >= 0 {
 					continue
 				}
-				for _, u := range vw.InAdj(int32(v)) {
+				v := lo + dv
+				v32 := property.Index32(v)
+				for _, u := range vw.InAdj(v32) {
 					if curBits.Test(int(u)) {
-						dist[v] = r
+						d[dv] = r
 						if spec.Labels != nil {
 							spec.Labels[v] = spec.Label
 						}
 						if spec.Visit != nil {
-							spec.Visit(int32(v), r)
+							spec.Visit(v32, r)
 						}
 						nextBits.Set(v)
 						p++

@@ -150,7 +150,7 @@ func (g *Graph) SetMeta(v *Vertex, key string, data []byte) {
 	addr := g.arena.Alloc(uint64(len(data))+16, 16)
 	v.meta[key] = meta{data: cp, addr: addr}
 	if t != nil {
-		t.Store(addr, uint32(len(data))+16)
+		t.Store(addr, Size32(uint64(len(data))+16))
 		t.Exit()
 	}
 }
@@ -166,7 +166,7 @@ func (g *Graph) Meta(v *Vertex, key string) []byte {
 	m, ok := v.meta[key]
 	if t != nil {
 		if ok {
-			t.Load(m.addr, uint32(len(m.data))+16)
+			t.Load(m.addr, Size32(uint64(len(m.data))+16))
 		}
 		t.Exit()
 	}

@@ -290,11 +290,11 @@ func (g *Graph) AddVertex(id VertexID) (v *Vertex, added bool) {
 	g.nVerts.Add(1)
 	if t != nil {
 		t.Store(sh.bucketAddr(id), indexBucketBytes)
-		t.Store(v.addr, uint32(vertexRecordBytes+nprops*propSlotBytes))
+		t.Store(v.addr, Size32(uint64(vertexRecordBytes+nprops*propSlotBytes)))
 		if grew {
 			// Rehash: stream the old table through the new one.
-			t.Load(sh.idxAddr, uint32(sh.idxCap/2*indexBucketBytes))
-			t.Store(sh.idxAddr, uint32(sh.idxCap*indexBucketBytes))
+			t.Load(sh.idxAddr, Size32(sh.idxCap/2*indexBucketBytes))
+			t.Store(sh.idxAddr, Size32(sh.idxCap*indexBucketBytes))
 		}
 		t.Exit()
 	}
@@ -311,8 +311,8 @@ func (g *Graph) growEdges(v *Vertex, t mem.Tracker) {
 	old := v.edgeAddr
 	v.edgeAddr = g.arena.Alloc(uint64(newCap)*g.edgeRec, 64)
 	if t != nil && v.edgeCap > 0 {
-		t.Load(old, uint32(uint64(v.edgeCap)*g.edgeRec))
-		t.Store(v.edgeAddr, uint32(uint64(v.edgeCap)*g.edgeRec))
+		t.Load(old, Size32(uint64(v.edgeCap)*g.edgeRec))
+		t.Store(v.edgeAddr, Size32(uint64(v.edgeCap)*g.edgeRec))
 		t.Inst(uint64(4 + v.edgeCap))
 	}
 	v.edgeCap = newCap
@@ -326,8 +326,8 @@ func (g *Graph) growIn(v *Vertex, t mem.Tracker) {
 	old := v.inAddr
 	v.inAddr = g.arena.Alloc(uint64(newCap)*inRecordBytes, 64)
 	if t != nil && v.inCap > 0 {
-		t.Load(old, uint32(v.inCap*inRecordBytes))
-		t.Store(v.inAddr, uint32(v.inCap*inRecordBytes))
+		t.Load(old, Size32(uint64(v.inCap)*inRecordBytes))
+		t.Store(v.inAddr, Size32(uint64(v.inCap)*inRecordBytes))
 		t.Inst(uint64(4 + v.inCap/2))
 	}
 	v.inCap = newCap
@@ -770,7 +770,7 @@ func (g *Graph) View() *View {
 	idxSlot := g.EnsureField(SysIndexField)
 	pos := make(map[VertexID]int32, len(vs))
 	for i, v := range vs {
-		pos[v.ID] = int32(i)
+		pos[v.ID] = Index32(i)
 		v.props[idxSlot] = float64(i)
 	}
 	vw := &View{Verts: vs, pos: pos}
@@ -784,14 +784,14 @@ func (vw *View) resolve(directed bool) {
 	off := make([]int32, n+1)
 	deg := 0
 	for i, v := range vw.Verts {
-		off[i] = int32(deg)
+		off[i] = Index32(deg)
 		for k := range v.Out {
 			if _, ok := vw.pos[v.Out[k].To]; ok {
 				deg++
 			}
 		}
 	}
-	off[n] = int32(deg)
+	off[n] = Index32(deg)
 	nbr := make([]int32, deg)
 	wts := make([]float64, deg)
 	p := 0
@@ -822,7 +822,7 @@ func (vw *View) resolve(directed bool) {
 	for i := 0; i < n; i++ {
 		for k := off[i]; k < off[i+1]; k++ {
 			j := nbr[k]
-			inNbr[inOff[j]+fill[j]] = int32(i)
+			inNbr[inOff[j]+fill[j]] = Index32(i)
 			fill[j]++
 		}
 	}

@@ -53,7 +53,7 @@ func BCentr(g *property.Graph, opt Options) (*Result, error) {
 
 	touched := int64(0)
 	for s := 0; s < k; s++ {
-		srcIdx := int32(uint64(s) * uint64(n) / uint64(k))
+		srcIdx := property.Index32(int(uint64(s) * uint64(n) / uint64(k)))
 		for i := range sigma {
 			sigma[i], dist[i], delta[i] = 0, -1, 0
 		}
@@ -124,7 +124,7 @@ func bcentrTracked(g *property.Graph, vw *property.View, bc, k int) (*Result, er
 
 	touched := int64(0)
 	for s := 0; s < k; s++ {
-		srcIdx := int32(uint64(s) * uint64(n) / uint64(k))
+		srcIdx := property.Index32(int(uint64(s) * uint64(n) / uint64(k)))
 		for i := range sigma {
 			sigma[i], dist[i], delta[i] = 0, -1, 0
 		}
@@ -135,40 +135,48 @@ func bcentrTracked(g *property.Graph, vw *property.View, bc, k int) (*Result, er
 		dstSim.St(int(srcIdx))
 
 		// Forward BFS accumulating path counts.
+		// The queue grows inside the Neighbors callback, so a plain
+		// queue[qh] pop cannot be bounds-proven; draining snapshot
+		// batches visits the same elements in the same (append) order
+		// with the indexing replaced by a range.
 		queue := []int32{srcIdx}
-		for qh := 0; qh < len(queue); qh++ {
-			ui := queue[qh]
-			ordSim.Ld(qh)
-			order = append(order, ui)
-			ordSim.St(len(order) - 1)
-			u := vw.Verts[ui]
-			du := dist[ui]
-			g.Neighbors(u, func(_ int, e *property.Edge) bool {
-				nb := g.FindVertex(e.To)
-				if nb == nil {
+		for head := 0; head < len(queue); {
+			batch := queue[head:]
+			qbase := head
+			head = len(queue)
+			for bi, ui := range batch {
+				ordSim.Ld(qbase + bi)
+				order = append(order, ui)
+				ordSim.St(len(order) - 1)
+				u := vw.Verts[ui]
+				du := dist[ui]
+				g.Neighbors(u, func(_ int, e *property.Edge) bool {
+					nb := g.FindVertex(e.To)
+					if nb == nil {
+						return true
+					}
+					wi := int32(g.GetProp(nb, idxSlot))
+					dstSim.Ld(int(wi))
+					fresh := dist[wi] < 0
+					branch(t, siteVisited, fresh)
+					if fresh {
+						dist[wi] = du + 1
+						dstSim.St(int(wi))
+						queue = append(queue, wi)
+						touched++
+					}
+					onPath := dist[wi] == du+1
+					branch(t, siteLevel, onPath)
+					if onPath {
+						sigSim.Ld(int(wi))
+						sigSim.Ld(int(ui))
+						sigma[wi] += sigma[ui]
+						sigSim.St(int(wi))
+						inst(t, 4)
+					}
 					return true
-				}
-				wi := int32(g.GetProp(nb, idxSlot))
-				dstSim.Ld(int(wi))
-				fresh := dist[wi] < 0
-				branch(t, siteVisited, fresh)
-				if fresh {
-					dist[wi] = du + 1
-					dstSim.St(int(wi))
-					queue = append(queue, wi)
-					touched++
-				}
-				onPath := dist[wi] == du+1
-				branch(t, siteLevel, onPath)
-				if onPath {
-					sigSim.Ld(int(wi))
-					sigSim.Ld(int(ui))
-					sigma[wi] += sigma[ui]
-					sigSim.St(int(wi))
-					inst(t, 4)
-				}
-				return true
-			})
+				})
+			}
 		}
 
 		// Backward dependency accumulation in reverse BFS order.

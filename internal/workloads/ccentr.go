@@ -49,7 +49,7 @@ func CCentr(g *property.Graph, opt Options) (*Result, error) {
 	// closeness of every vertex is exact. With sampling, the per-source
 	// estimates are averaged into the sources' own closeness values.
 	for s := 0; s < k; s++ {
-		srcIdx := int32(uint64(s) * uint64(n) / uint64(k))
+		srcIdx := property.Index32(int(uint64(s) * uint64(n) / uint64(k)))
 		for i := range dist {
 			dist[i] = -1
 		}
@@ -60,31 +60,39 @@ func CCentr(g *property.Graph, opt Options) (*Result, error) {
 		qSim.St(0)
 		sum := 0.0
 		reached := 1
-		for qh := 0; qh < len(queue); qh++ {
-			qSim.Ld(qh)
-			u := vw.Verts[queue[qh]]
-			du := dist[queue[qh]]
-			g.Neighbors(u, func(_ int, e *property.Edge) bool {
-				nb := g.FindVertex(e.To)
-				if nb == nil {
+		// Snapshot-batch drain: the queue grows inside the Neighbors
+		// callback, so queue[qh] cannot be bounds-proven; ranging over
+		// batches visits the same elements in the same (append) order.
+		for head := 0; head < len(queue); {
+			batch := queue[head:]
+			qbase := head
+			head = len(queue)
+			for bi, ui := range batch {
+				qSim.Ld(qbase + bi)
+				u := vw.Verts[ui]
+				du := dist[ui]
+				g.Neighbors(u, func(_ int, e *property.Edge) bool {
+					nb := g.FindVertex(e.To)
+					if nb == nil {
+						return true
+					}
+					wi := int32(g.GetProp(nb, idxSlot))
+					dSim.Ld(int(wi))
+					fresh := dist[wi] < 0
+					branch(t, siteVisited, fresh)
+					if fresh {
+						dist[wi] = du + 1
+						dSim.St(int(wi))
+						queue = append(queue, wi)
+						qSim.St(len(queue) - 1)
+						sum += float64(du + 1)
+						reached++
+						touched++
+						inst(t, 3)
+					}
 					return true
-				}
-				wi := int32(g.GetProp(nb, idxSlot))
-				dSim.Ld(int(wi))
-				fresh := dist[wi] < 0
-				branch(t, siteVisited, fresh)
-				if fresh {
-					dist[wi] = du + 1
-					dSim.St(int(wi))
-					queue = append(queue, wi)
-					qSim.St(len(queue) - 1)
-					sum += float64(du + 1)
-					reached++
-					touched++
-					inst(t, 3)
-				}
-				return true
-			})
+				})
+			}
 		}
 		src := vw.Verts[srcIdx]
 		if sum > 0 && n > 1 {

@@ -49,7 +49,7 @@ func CComp(g *property.Graph, opt Options) (*Result, error) {
 		if seen {
 			continue
 		}
-		label := int32(comps)
+		label := property.Index32(comps)
 		comps++
 		dist[s] = 0
 		labels[s] = label
@@ -80,7 +80,7 @@ func CComp(g *property.Graph, opt Options) (*Result, error) {
 				})
 			}
 		}
-		st := eng.Traverse(&spec, int32(s))
+		st := eng.Traverse(&spec, property.Index32(s))
 		touched += st.Reached
 		if st.Reached > largest {
 			largest = st.Reached

@@ -54,7 +54,7 @@ func CCompLP(g *property.Graph, opt Options) (*Result, error) {
 		concurrent.ParallelItems(n, w, 128, func(i int) {
 			best := cur[i]
 			if !tracked {
-				for _, wi := range vw.Adj(int32(i)) {
+				for _, wi := range vw.Adj(property.Index32(i)) {
 					if l := cur[wi]; l < best {
 						best = l
 					}

@@ -129,14 +129,14 @@ func (a simArr) at(i int) uint64 { return a.base + (uint64(i)%a.n)*a.elem }
 // Ld records a read of element i.
 func (a simArr) Ld(i int) {
 	if a.t != nil {
-		a.t.Load(a.at(i), uint32(a.elem))
+		a.t.Load(a.at(i), property.Size32(a.elem))
 	}
 }
 
 // St records a write of element i.
 func (a simArr) St(i int) {
 	if a.t != nil {
-		a.t.Store(a.at(i), uint32(a.elem))
+		a.t.Store(a.at(i), property.Size32(a.elem))
 	}
 }
 

@@ -35,7 +35,7 @@ func DCentr(g *property.Graph, opt Options) (*Result, error) {
 		eng := engine.New(g, vw, opt.Workers)
 		sum := 0.0
 		eng.ForVertices(256, func(i int) {
-			deg := int(vw.Degree(int32(i)))
+			deg := int(vw.Degree(property.Index32(i)))
 			if g.Directed() {
 				deg += vw.Verts[i].InDegree()
 			}

@@ -50,7 +50,7 @@ func GColor(g *property.Graph, opt Options) (*Result, error) {
 	}
 	work := make([]int32, n)
 	for i := range work {
-		work[i] = int32(i)
+		work[i] = property.Index32(i)
 	}
 	win := make([]bool, n)
 
@@ -159,7 +159,7 @@ func gcolorTracked(g *property.Graph, vw *property.View, col int, prio func(prop
 
 	work := make([]int32, n)
 	for i := range work {
-		work[i] = int32(i)
+		work[i] = property.Index32(i)
 	}
 	wSim := newSimArr(g, n, 4)
 

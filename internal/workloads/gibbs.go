@@ -1,9 +1,11 @@
 package workloads
 
 import (
+	"math"
 	"math/rand/v2"
 
 	"github.com/graphbig/graphbig-go/internal/bayes"
+	"github.com/graphbig/graphbig-go/internal/property"
 )
 
 // Gibbs performs Gibbs sampling for approximate inference in a Bayesian
@@ -30,7 +32,7 @@ func Gibbs(net *bayes.Network, opt Options) (*Result, error) {
 
 	state := make([]int32, n)
 	for i := range state {
-		state[i] = int32(r.IntN(int(net.Nodes[i].States)))
+		state[i] = property.Index32(r.IntN(int(net.Nodes[i].States)))
 	}
 	// Evidence nodes (observed variables, the expert-system use case) are
 	// clamped to their observed state and never resampled. opt.MaxIters
@@ -48,6 +50,12 @@ func Gibbs(net *bayes.Network, opt Options) (*Result, error) {
 	probs := make([]float64, 0, 16)
 	var drawn int64
 	hist := make([]int64, 8) // state histogram of node 0 (posterior sample)
+	// The guard, rather than a hoisted Index32, keeps the node count's
+	// identity with len(state)/len(evidence) visible through the loop
+	// condition below.
+	if n > math.MaxInt32 {
+		panic("workloads: node count overflows int32")
+	}
 	for sw := 0; sw < sweeps; sw++ {
 		for i := int32(0); i < int32(n); i++ {
 			if evidence[i] {
@@ -68,13 +76,13 @@ func Gibbs(net *bayes.Network, opt Options) (*Result, error) {
 			u := r.Float64() * total
 			acc := 0.0
 			chosen := nd.States - 1
-			for s := int32(0); s < nd.States; s++ {
-				acc += probs[s]
+			for s, p := range probs {
+				acc += p
 				hit := u < acc
 				branch(t, siteSample, hit)
 				inst(t, 2)
 				if hit {
-					chosen = s
+					chosen = property.Index32(s)
 					break
 				}
 			}

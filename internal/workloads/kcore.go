@@ -31,7 +31,7 @@ func KCore(g *property.Graph, opt Options) (*Result, error) {
 	deg := make([]int32, n)
 	maxDeg := int32(0)
 	for i, v := range vw.Verts {
-		deg[i] = int32(v.OutDegree())
+		deg[i] = property.Index32(v.OutDegree())
 		if deg[i] > maxDeg {
 			maxDeg = deg[i]
 		}
@@ -51,7 +51,7 @@ func KCore(g *property.Graph, opt Options) (*Result, error) {
 	for i := 0; i < n; i++ {
 		p := next[deg[i]]
 		next[deg[i]]++
-		vert[p] = int32(i)
+		vert[p] = property.Index32(i)
 		pos[i] = p
 	}
 
@@ -102,7 +102,7 @@ func kcoreTracked(g *property.Graph, vw *property.View, core int) (*Result, erro
 	degSim := newSimArr(g, n, 4)
 	maxDeg := int32(0)
 	for i, v := range vw.Verts {
-		deg[i] = int32(v.OutDegree())
+		deg[i] = property.Index32(v.OutDegree())
 		degSim.St(i)
 		inst(t, 2)
 		if deg[i] > maxDeg {
@@ -133,7 +133,7 @@ func kcoreTracked(g *property.Graph, vw *property.View, core int) (*Result, erro
 	for i := 0; i < n; i++ {
 		p := next[deg[i]]
 		next[deg[i]]++
-		vert[p] = int32(i)
+		vert[p] = property.Index32(i)
 		pos[i] = p
 		vertSim.St(int(p))
 		posSim.St(i)

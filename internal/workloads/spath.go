@@ -98,7 +98,10 @@ func SPath(g *property.Graph, opt Options) (*Result, error) {
 		settled++
 		sum += d
 		adj := vw.Adj(ui)
-		wts := vw.AdjW(ui)
+		// Pinning the weights to the adjacency extent lets the range
+		// analysis (and the compiler's prove pass) drop the wts[k]
+		// bounds check inside the relaxation loop.
+		wts := vw.AdjW(ui)[:len(adj)]
 		for k, v := range adj {
 			if nd := d + wts[k]; nd < dist[v] {
 				dist[v] = nd

@@ -85,6 +85,19 @@ func SPathDelta(g *property.Graph, opt Options) (*Result, error) {
 		mu.Unlock()
 		return h
 	}
+	// takeBucket swaps bucket b out under the lock. The length guard
+	// makes the (once-per-round, cold) access safe independent of the
+	// grow-only invariant push maintains.
+	takeBucket := func(b int) []int32 {
+		var work []int32
+		mu.Lock()
+		if b < len(buckets) {
+			work = buckets[b]
+			buckets[b] = nil
+		}
+		mu.Unlock()
+		return work
+	}
 	dSim := newSimArr(g, n, 8)
 
 	dist[srcIdx] = 0
@@ -108,65 +121,66 @@ func SPathDelta(g *property.Graph, opt Options) (*Result, error) {
 		bucketsDone++
 		// Drain bucket b: settled entries may be re-added by light edges.
 		for {
-			mu.Lock()
-			work := buckets[b]
-			buckets[b] = nil
-			mu.Unlock()
+			work := takeBucket(b)
 			if len(work) == 0 {
 				break
 			}
-			concurrent.ParallelItems(len(work), w, 32, func(k int) {
-				ui := work[k]
-				dSim.Ld(int(ui))
-				du := loadDist(&mu, dist, ui)
-				if int(du/delta) < b {
-					return // stale entry; already settled in a lower bucket
-				}
-				if !tracked {
-					adj := vw.Adj(ui)
-					wts := vw.AdjW(ui)
-					for j, wi := range adj {
-						nd := du + wts[j]
+			concurrent.ParallelRange(len(work), w, func(lo, hi int) {
+				for _, ui := range work[lo:hi] {
+					dSim.Ld(int(ui))
+					du := loadDist(&mu, dist, ui)
+					if int(du/delta) < b {
+						continue // stale entry; already settled in a lower bucket
+					}
+					if !tracked {
+						adj := vw.Adj(ui)
+						// Pinned to the adjacency extent so the wts[j]
+						// bounds check inside the relaxation loop is
+						// provably dead.
+						wts := vw.AdjW(ui)[:len(adj)]
+						for j, wi := range adj {
+							nd := du + wts[j]
+							mu.Lock()
+							better := nd < dist[wi]
+							if better {
+								dist[wi] = nd
+							}
+							mu.Unlock()
+							if better {
+								push(int(nd/delta), wi)
+								relaxed.Add(1)
+							}
+						}
+						continue
+					}
+					u := vw.Verts[ui]
+					g.Neighbors(u, func(_ int, e *property.Edge) bool {
+						nb := g.FindVertex(e.To)
+						if nb == nil {
+							return true
+						}
+						wi := int32(g.GetProp(nb, idxSlot))
+						nd := du + e.Weight
+						inst(t, 3)
 						mu.Lock()
 						better := nd < dist[wi]
 						if better {
 							dist[wi] = nd
+							// The property write stays under the lock so a
+							// racing larger relaxation cannot overwrite it.
+							nb.SetPropRaw(distF, nd)
 						}
 						mu.Unlock()
+						branch(t, siteRelax, better)
 						if better {
+							dSim.St(int(wi))
+							g.SetProp(nb, distF, nd) // accounting-only on 1-thread runs
 							push(int(nd/delta), wi)
 							relaxed.Add(1)
 						}
-					}
-					return
-				}
-				u := vw.Verts[ui]
-				g.Neighbors(u, func(_ int, e *property.Edge) bool {
-					nb := g.FindVertex(e.To)
-					if nb == nil {
 						return true
-					}
-					wi := int32(g.GetProp(nb, idxSlot))
-					nd := du + e.Weight
-					inst(t, 3)
-					mu.Lock()
-					better := nd < dist[wi]
-					if better {
-						dist[wi] = nd
-						// The property write stays under the lock so a
-						// racing larger relaxation cannot overwrite it.
-						nb.SetPropRaw(distF, nd)
-					}
-					mu.Unlock()
-					branch(t, siteRelax, better)
-					if better {
-						dSim.St(int(wi))
-						g.SetProp(nb, distF, nd) // accounting-only on 1-thread runs
-						push(int(nd/delta), wi)
-						relaxed.Add(1)
-					}
-					return true
-				})
+					})
+				}
 			})
 		}
 	}

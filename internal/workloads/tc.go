@@ -31,7 +31,7 @@ func TC(g *property.Graph, opt Options) (*Result, error) {
 	// the intersection cost. Lists are index-sorted for merging.
 	deg := make([]int32, n)
 	for i, v := range vw.Verts {
-		deg[i] = int32(v.OutDegree())
+		deg[i] = property.Index32(v.OutDegree())
 	}
 	rankLess := func(a, b int32) bool {
 		if deg[a] != deg[b] {
@@ -49,7 +49,7 @@ func TC(g *property.Graph, opt Options) (*Result, error) {
 				return true
 			}
 			j := int32(g.GetProp(nb, idxSlot))
-			keep := rankLess(int32(i), j)
+			keep := rankLess(property.Index32(i), j)
 			branch(t, siteCompare, keep)
 			if keep {
 				lst = append(lst, j)
@@ -72,13 +72,14 @@ func TC(g *property.Graph, opt Options) (*Result, error) {
 	var triangles atomic.Int64
 	concurrent.ParallelItems(n, w, 16, func(u int) {
 		au := adj[u]
+		bu := base[u]
 		local := int64(0)
 		for k, v := range au {
-			adjSim.Ld(base[u] + k)
+			adjSim.Ld(bu + k)
 			av := adj[v]
 			a, b := 0, 0
 			for iter := 0; a < len(au) && b < len(av); iter++ {
-				adjSim.Ld(base[u] + a)
+				adjSim.Ld(bu + a)
 				adjSim.Ld(base[int(v)] + b)
 				// Partially unrolled merge: the compiler turns two of
 				// every three advances into cmov, the third stays a real

@@ -91,10 +91,14 @@ func TMorph(g *property.Graph, opt Options) (*Result, error) {
 		// Marry parent pairs. The duplicate check scans the adjacency of
 		// the currently lower-degree endpoint, so high-degree hubs (which
 		// parent many vertices) are not rescanned quadratically.
-		for i := 0; i < len(parents); i++ {
-			for j := i + 1; j < len(parents); j++ {
+		// parents is append-grown inside Neighbors callbacks, which puts
+		// it beyond the range analysis's tracking; the marry loops never
+		// grow it, so pin the extent in a plain local first.
+		ps := parents
+		for i := 0; i < len(ps); i++ {
+			for j := i + 1; j < len(ps); j++ {
 				inst(t, 3)
-				a, b := parents[i], parents[j]
+				a, b := ps[i], ps[j]
 				va, vb := mg.FindVertex(a), mg.FindVertex(b)
 				if va == nil || vb == nil {
 					continue
