@@ -4,10 +4,14 @@
 // Usage:
 //
 //	graphbig-bench [-scale 0.02] [-seed 42] [-exp fig05] [-md] [-o out.md]
+//	graphbig-bench -json [-scale 0.05]   # machine-readable perf trajectory
 //
 // -scale 1.0 reproduces the paper's dataset sizes (Table 7); the default
 // runs a small-scale sweep in minutes. Absolute counter values are model
 // outputs, not Xeon/K40 measurements — compare shapes, not magnitudes.
+// -order composes a vertex reordering (internal/order) into every dataset
+// view; -json measures view construction, per-ordering engine wall-clock
+// and per-ordering simulated MPKI, writing results/BENCH_<scale>.json.
 package main
 
 import (
@@ -25,6 +29,9 @@ func main() {
 	scale := flag.Float64("scale", cfg.Scale, "fraction of paper-scale dataset sizes")
 	seed := flag.Int64("seed", cfg.Seed, "generation seed")
 	exp := flag.String("exp", "", "experiment id(s), comma-separated (e.g. fig05,fig07); empty = all")
+	ordering := flag.String("order", "", "vertex ordering for dataset views: none|degree|hub|rcm")
+	jsonOut := flag.Bool("json", false, "measure the benchmark trajectory and write results/BENCH_<scale>.json")
+	jsonDir := flag.String("json-dir", "results", "directory for -json output")
 	md := flag.Bool("md", false, "emit markdown tables")
 	csvOut := flag.Bool("csv", false, "emit CSV rows")
 	chart := flag.Bool("chart", false, "append an ASCII bar chart of each report's last column")
@@ -41,7 +48,21 @@ func main() {
 
 	cfg.Scale = *scale
 	cfg.Seed = *seed
+	cfg.Order = *ordering
 	s := harness.NewSession(cfg)
+
+	if *jsonOut {
+		recs, err := harness.BenchRecords(s)
+		if err != nil {
+			fatal(err)
+		}
+		path := harness.BenchPath(*jsonDir, cfg.Scale)
+		if err := harness.WriteBenchJSON(path, recs); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d records to %s\n", len(recs), path)
+		return
+	}
 
 	var reports []harness.Report
 	start := time.Now()

@@ -23,6 +23,7 @@ import (
 	"github.com/graphbig/graphbig-go/internal/gen"
 	"github.com/graphbig/graphbig-go/internal/harness"
 	"github.com/graphbig/graphbig-go/internal/loader"
+	"github.com/graphbig/graphbig-go/internal/order"
 	"github.com/graphbig/graphbig-go/internal/perfmon"
 	"github.com/graphbig/graphbig-go/internal/property"
 	"github.com/graphbig/graphbig-go/internal/simt"
@@ -37,6 +38,7 @@ func main() {
 	scale := flag.Float64("scale", 0.02, "generation scale")
 	seed := flag.Int64("seed", 42, "seed")
 	workers := flag.Int("workers", 0, "native worker count (0 = GOMAXPROCS)")
+	ordering := flag.String("order", "none", "vertex ordering composed into the view: none|degree|hub|rcm")
 	profile := flag.Bool("profile", false, "run instrumented on the CPU model")
 	gpu := flag.Bool("gpu", false, "run the GPU implementation on the SIMT device")
 	samples := flag.Int("samples", 0, "workload sample parameter (BCentr sources, GUp deletions, Gibbs sweeps)")
@@ -77,6 +79,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	ord, err := order.ByName(*ordering)
+	if err != nil {
+		fatal(err)
+	}
 	ctx := &core.RunContext{Opt: workloads.Options{Workers: *workers, Seed: *seed, Samples: *samples}}
 
 	if wl.NeedsBayes {
@@ -108,8 +114,21 @@ func main() {
 	}
 	fmt.Printf("input: %d vertices, %d edges\n", g.VertexCount(), g.EdgeCount())
 
+	// makeView composes the requested ordering into the dense view. For
+	// instrumented runs a non-default ordering also re-lays-out the
+	// simulated addresses (property.Relayout) so the cache model sees the
+	// locality the ordering produces; "none" keeps the seed layout and
+	// byte-identical traces.
+	makeView := func(relayout bool) *property.View {
+		vw := g.ViewWith(property.ViewOpts{Workers: *workers, Order: ord})
+		if relayout && ord != nil {
+			property.Relayout(g, vw)
+		}
+		return vw
+	}
+
 	if *gpu {
-		vw := g.View()
+		vw := makeView(false)
 		c := csr.FromProperty(g, vw)
 		d := simt.NewDevice(simt.KeplerConfig())
 		res, err := wl.RunGPU(d, c)
@@ -133,7 +152,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		ctx.Opt.View = g.View()
+		ctx.Opt.View = makeView(true)
 		g.SetTracker(rec)
 		runCPU(wl, ctx)
 		g.SetTracker(nil)
@@ -147,14 +166,14 @@ func main() {
 		return
 	}
 	if *profile {
-		vw := g.View()
-		ctx.Opt.View = vw
+		ctx.Opt.View = makeView(true)
 		prof := perfmon.NewProfile(perfmon.DefaultConfig())
 		g.SetTracker(prof)
 		runCPU(wl, ctx)
 		printMetrics(prof.Report())
 		return
 	}
+	ctx.Opt.View = makeView(false)
 	runCPU(wl, ctx)
 }
 

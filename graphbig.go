@@ -68,6 +68,15 @@ type Session = harness.Session
 // flat CSR-like adjacency arrays that native hot loops iterate directly.
 type View = property.View
 
+// ViewOpts configures Graph.ViewWith: construction parallelism plus an
+// optional locality ordering composed into the dense index space.
+type ViewOpts = property.ViewOpts
+
+// OrderFunc computes a vertex-reordering permutation (perm[new] = old)
+// from a resolved CSR; internal/order provides degree, hub-clustering and
+// RCM strategies.
+type OrderFunc = property.OrderFunc
+
 // Engine is the unified direction-optimizing frontier engine; workload
 // authors build traversals on it (see internal/engine).
 type Engine = engine.Engine

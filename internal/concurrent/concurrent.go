@@ -190,6 +190,35 @@ func ParallelRange(n, workers int, body func(start, end int)) {
 	wg.Wait()
 }
 
+// ChunkBounds splits [0,n) into parts contiguous near-equal chunks and
+// returns the parts+1 boundaries: chunk w is [bounds[w], bounds[w+1]).
+// Remainder items go to the leading chunks, so sizes differ by at most
+// one. It underpins deterministic per-worker decompositions — callers
+// that need a stable worker id per range (e.g. the parallel counting
+// sort in property.View construction) index their scratch by w.
+func ChunkBounds(n, parts int) []int {
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > n {
+		parts = n
+	}
+	if parts < 1 {
+		parts = 1 // n == 0: a single empty chunk
+	}
+	bounds := make([]int, parts+1)
+	q, r := n/parts, n%parts
+	acc := 0
+	for w := range bounds {
+		bounds[w] = acc
+		acc += q
+		if w < r {
+			acc++
+		}
+	}
+	return bounds
+}
+
 // ParallelItems runs body(i) for every i in [0,n) using a dynamic
 // work-stealing counter, which balances skewed per-item costs (e.g.
 // per-vertex work proportional to degree).

@@ -210,3 +210,33 @@ func TestWorkers(t *testing.T) {
 		t.Error("default workers must be >= 1")
 	}
 }
+
+func TestChunkBounds(t *testing.T) {
+	for _, tc := range []struct{ n, parts int }{
+		{0, 4}, {1, 4}, {4, 4}, {10, 3}, {100, 7}, {5, 0}, {5, -2}, {1 << 20, 16},
+	} {
+		b := ChunkBounds(tc.n, tc.parts)
+		if b[0] != 0 || b[len(b)-1] != tc.n {
+			t.Fatalf("ChunkBounds(%d,%d) = %v: bad endpoints", tc.n, tc.parts, b)
+		}
+		min, max := tc.n, 0
+		for i := 1; i < len(b); i++ {
+			sz := b[i] - b[i-1]
+			if sz < 0 {
+				t.Fatalf("ChunkBounds(%d,%d) = %v: negative chunk", tc.n, tc.parts, b)
+			}
+			if sz < min {
+				min = sz
+			}
+			if sz > max {
+				max = sz
+			}
+		}
+		if tc.n > 0 && max-min > 1 {
+			t.Fatalf("ChunkBounds(%d,%d) = %v: sizes differ by more than one", tc.n, tc.parts, b)
+		}
+		if tc.parts >= 1 && tc.n >= tc.parts && len(b) != tc.parts+1 {
+			t.Fatalf("ChunkBounds(%d,%d): got %d chunks, want %d", tc.n, tc.parts, len(b)-1, tc.parts)
+		}
+	}
+}

@@ -240,9 +240,12 @@ func (e *Engine) pullPhase(spec *Spec, cur *concurrent.Frontier, round *int32, s
 			break
 		}
 	}
-	// Sparsify the surviving frontier back into push mode.
+	// Sparsify the surviving frontier back into push mode, through the
+	// engine's scratch slice so each pull exit reuses one buffer instead
+	// of allocating a fresh sparse list.
 	cur.Reset()
-	for _, v := range curBits.AppendSet(nil) {
+	e.sparse = curBits.AppendSet(e.sparse[:0])
+	for _, v := range e.sparse {
 		cur.Push(v)
 	}
 }

@@ -25,6 +25,7 @@ var Experiments = []Experiment{
 	{"fig13", "GPU divergence across datasets", Fig13},
 	{"ext01", "extension: NDP vs host", Ext01NDP},
 	{"ext02", "extension: LDBC size sweep", Ext02SizeSweep},
+	{"ext03", "extension: ordering cache locality", Ext03Ordering},
 }
 
 // ByID returns the experiment with the given ID.

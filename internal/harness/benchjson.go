@@ -1,0 +1,195 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"github.com/graphbig/graphbig-go/internal/order"
+	"github.com/graphbig/graphbig-go/internal/property"
+	"github.com/graphbig/graphbig-go/internal/workloads"
+)
+
+// RunRecord is one machine-readable benchmark measurement, the unit of
+// the perf trajectory under results/BENCH_<scale>.json. Records are
+// append-friendly: every field needed to reproduce the run (experiment,
+// dataset, ordering, scale, seed) travels with the number.
+type RunRecord struct {
+	Experiment string             `json:"experiment"`
+	Workload   string             `json:"workload,omitempty"`
+	Dataset    string             `json:"dataset,omitempty"`
+	Order      string             `json:"order,omitempty"`
+	Scale      float64            `json:"scale"`
+	Seed       int64              `json:"seed"`
+	WallMS     float64            `json:"wall_ms"`
+	Counters   map[string]float64 `json:"counters,omitempty"`
+}
+
+// benchRepeats is the per-measurement repetition count. Engine timings
+// keep the minimum of the interleaved repetitions — on a shared host the
+// minimum is the least-contended observation and the standard robust
+// estimator for comparing variants; view-build keeps the median since
+// its serial-vs-parallel gap is far wider than the noise floor.
+const benchRepeats = 7
+
+func medianMS(f func()) float64 {
+	times := make([]float64, 0, benchRepeats)
+	for i := 0; i < benchRepeats; i++ {
+		t0 := time.Now()
+		f()
+		times = append(times, float64(time.Since(t0).Nanoseconds())/1e6)
+	}
+	sort.Float64s(times)
+	return times[len(times)/2]
+}
+
+// BenchRecords measures the ordering/locality layer three ways on the
+// session's LDBC dataset and returns the records:
+//
+//  1. view_build — serial seed implementation (ViewReference) vs the
+//     parallel ViewWith pipeline, with the speedup as a counter;
+//  2. engine wall-clock — BFS/CComp/SPathDelta per ordering, views
+//     prebuilt outside the timed region, a fixed source vertex so every
+//     ordering does identical algorithmic work;
+//  3. simulated MPKI — the ext03 per-ordering cache counters, so the
+//     trajectory records locality alongside time.
+func BenchRecords(s *Session) ([]RunRecord, error) {
+	g, err := s.Graph("ldbc")
+	if err != nil {
+		return nil, err
+	}
+	cfg := s.Cfg
+	recs := make([]RunRecord, 0, 16)
+
+	// 1. View construction: seed serial baseline vs parallel pipeline.
+	var vwNone *property.View
+	serialMS := medianMS(func() { vwNone = g.ViewReference() })
+	parallelMS := medianMS(func() { vwNone = g.ViewWith(property.ViewOpts{Workers: cfg.Workers}) })
+	speedup := 0.0
+	if parallelMS > 0 {
+		speedup = serialMS / parallelMS
+	}
+	recs = append(recs, RunRecord{
+		Experiment: "view_build", Dataset: "ldbc", Scale: cfg.Scale, Seed: cfg.Seed,
+		WallMS: parallelMS,
+		Counters: map[string]float64{
+			"serial_ms":  serialMS,
+			"speedup":    speedup,
+			"cores":      float64(runtime.GOMAXPROCS(0)),
+			"vertices":   float64(vwNone.Len()),
+			"edge_total": float64(vwNone.EdgeTotal()),
+		},
+	})
+
+	// 2. Native engine wall-clock per ordering. Views are prebuilt
+	// outside the timed region, the source is pinned to the baseline
+	// view's first vertex ID so index permutation cannot change which
+	// traversal runs, and repetitions interleave the orderings with the
+	// minimum kept — the standard estimator against scheduler and cache
+	// drift, which on small graphs would otherwise swamp the ordering
+	// deltas.
+	src := vwNone.Verts[0].ID
+	views := make(map[string]*property.View, len(order.Names))
+	for _, ordering := range order.Names {
+		ord, err := order.ByName(ordering)
+		if err != nil {
+			return nil, err
+		}
+		if ord == nil {
+			views[ordering] = vwNone
+			continue
+		}
+		views[ordering] = g.ViewWith(property.ViewOpts{Workers: cfg.Workers, Order: ord})
+	}
+	engineRuns := []struct {
+		name string
+		run  func(*property.Graph, workloads.Options) (*workloads.Result, error)
+	}{
+		{"BFS", workloads.BFS},
+		{"CComp", workloads.CComp},
+		{"SPathDelta", workloads.SPathDelta},
+	}
+	type cell struct {
+		ms  float64
+		res *workloads.Result
+	}
+	best := make(map[string]cell, len(engineRuns)*len(order.Names))
+	for _, er := range engineRuns {
+		// Workload-outermost so every ordering of one workload is timed in
+		// the same cache environment; a rep of a different, much larger
+		// workload in between would drown the ordering delta.
+		for rep := 0; rep < benchRepeats; rep++ {
+			for _, ordering := range order.Names {
+				t0 := time.Now()
+				res, err := er.run(g, workloads.Options{
+					Workers: cfg.Workers, Seed: cfg.Seed, Source: src, View: views[ordering],
+				})
+				ms := float64(time.Since(t0).Nanoseconds()) / 1e6
+				if err != nil {
+					return nil, fmt.Errorf("harness: bench %s/%s: %w", er.name, ordering, err)
+				}
+				key := er.name + "@" + ordering
+				if c, ok := best[key]; !ok || ms < c.ms {
+					best[key] = cell{ms, res}
+				}
+			}
+		}
+	}
+	for _, ordering := range order.Names {
+		for _, er := range engineRuns {
+			c := best[er.name+"@"+ordering]
+			recs = append(recs, RunRecord{
+				Experiment: "engine_wall", Workload: er.name, Dataset: "ldbc",
+				Order: ordering, Scale: cfg.Scale, Seed: cfg.Seed, WallMS: c.ms,
+				Counters: map[string]float64{
+					"visited":  float64(c.res.Visited),
+					"checksum": c.res.Checksum,
+					"repeats":  benchRepeats,
+				},
+			})
+		}
+	}
+
+	// 3. Simulated per-ordering cache counters (shared with ext03).
+	for _, ordering := range order.Names {
+		for _, w := range orderWorkloads {
+			m, err := s.OrderMPKI(w.name, ordering)
+			if err != nil {
+				return nil, err
+			}
+			recs = append(recs, RunRecord{
+				Experiment: "order_mpki", Workload: w.name, Dataset: "ldbc",
+				Order: ordering, Scale: cfg.Scale, Seed: cfg.Seed,
+				Counters: map[string]float64{
+					"l1d_mpki": m.L1DMPKI,
+					"l2_mpki":  m.L2MPKI,
+					"l3_mpki":  m.L3MPKI,
+					"ipc":      m.IPC,
+				},
+			})
+		}
+	}
+	return recs, nil
+}
+
+// WriteBenchJSON writes records as indented JSON, creating the directory
+// if needed. Path convention: results/BENCH_<scale>.json.
+func WriteBenchJSON(path string, recs []RunRecord) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// BenchPath returns the conventional bench-JSON path for a scale.
+func BenchPath(dir string, scale float64) string {
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%g.json", scale))
+}

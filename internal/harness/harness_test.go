@@ -123,9 +123,9 @@ func TestByIDAndOrder(t *testing.T) {
 		t.Error("unknown experiment should fail")
 	}
 	// One experiment per paper artifact (11 figures/tables + fig4) plus
-	// the NDP and size-sweep extensions.
-	if len(Experiments) != 14 {
-		t.Errorf("experiments = %d, want 14", len(Experiments))
+	// the NDP, size-sweep, and ordering-locality extensions.
+	if len(Experiments) != 15 {
+		t.Errorf("experiments = %d, want 15", len(Experiments))
 	}
 }
 

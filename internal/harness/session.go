@@ -14,6 +14,7 @@ import (
 	"github.com/graphbig/graphbig-go/internal/csr"
 	"github.com/graphbig/graphbig-go/internal/gen"
 	"github.com/graphbig/graphbig-go/internal/gpuwl"
+	"github.com/graphbig/graphbig-go/internal/order"
 	"github.com/graphbig/graphbig-go/internal/perfmon"
 	"github.com/graphbig/graphbig-go/internal/property"
 	"github.com/graphbig/graphbig-go/internal/simt"
@@ -30,6 +31,10 @@ type Config struct {
 	Seed int64
 	// Workers bounds native parallelism during generation.
 	Workers int
+	// Order names the vertex-reordering strategy composed into dataset
+	// views ("", "none", "degree", "hub", "rcm" — see internal/order).
+	// Results are ordering-invariant; only layout and timing change.
+	Order string
 	// Machine is the simulated CPU (Table 6).
 	Machine perfmon.Config
 	// CPUClockHz and CPUCores parameterize the Fig 12 CPU-side cost model.
@@ -66,6 +71,8 @@ type Session struct {
 	cpuSweep  map[string]perfmon.Metrics // by workload name, LDBC input
 	dataSweep map[string]perfmon.Metrics // by "workload@dataset"
 	gpuRuns   map[string]GPUPoint        // by "workload@dataset"
+	orderMPKI map[string]perfmon.Metrics // by "workload@ordering", LDBC input
+
 }
 
 // NewSession returns an empty session over cfg. The simulated GPU L2 and
@@ -94,11 +101,12 @@ func NewSession(cfg Config) *Session {
 		}
 	}
 	return &Session{
-		Cfg:      cfg,
-		graphs:   make(map[string]*property.Graph),
-		views:    make(map[string]*property.View),
-		csrs:     make(map[string]*csr.Graph),
-		cpuSweep: make(map[string]perfmon.Metrics),
+		Cfg:       cfg,
+		graphs:    make(map[string]*property.Graph),
+		views:     make(map[string]*property.View),
+		csrs:      make(map[string]*csr.Graph),
+		cpuSweep:  make(map[string]perfmon.Metrics),
+		orderMPKI: make(map[string]perfmon.Metrics),
 	}
 }
 
@@ -125,7 +133,11 @@ func (s *Session) View(name string) (*property.View, error) {
 	if err != nil {
 		return nil, err
 	}
-	v := g.View()
+	ord, err := order.ByName(s.Cfg.Order)
+	if err != nil {
+		return nil, err
+	}
+	v := g.ViewWith(property.ViewOpts{Workers: s.Cfg.Workers, Order: ord})
 	s.views[name] = v
 	return v, nil
 }

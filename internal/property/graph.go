@@ -2,7 +2,6 @@ package property
 
 import (
 	"errors"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -713,146 +712,3 @@ func (g *Graph) ForEachVertex(fn func(v *Vertex)) {
 		}
 	}
 }
-
-// View is a stable, ID-sorted snapshot of the live vertices, giving
-// algorithms dense integer indices. Creating a view also publishes each
-// vertex's index through the reserved "sys.index" property so algorithms
-// can go from a framework vertex to its index with a property read.
-//
-// A view is additionally index-resolved: at snapshot time the adjacency of
-// every live vertex is materialized into flat CSR-like arrays over the
-// dense indices (NbrOff/Nbr/NbrW, plus reverse arrays for directed
-// graphs). Native hot loops iterate these dense int32 arrays with zero
-// per-edge FindVertex hash lookups — the pointer-chasing overhead the
-// paper attributes to dynamic property-graph frameworks (§4.1) —
-// while instrumented runs keep using the framework primitives so the
-// tracker event stream is unchanged. Edges whose target is dead are
-// dropped during resolution, mirroring the nil-check every workload
-// performs after FindVertex.
-type View struct {
-	Verts []*Vertex
-	pos   map[VertexID]int32
-
-	// NbrOff has one entry per vertex plus a terminator: the out-neighbors
-	// of dense index i occupy Nbr[NbrOff[i]:NbrOff[i+1]], in adjacency-list
-	// order, with parallel edge weights in NbrW.
-	NbrOff []int32
-	Nbr    []int32
-	NbrW   []float64
-
-	// InOff/InNbr are the reverse (in-neighbor) arrays used by pull-phase
-	// traversal. On undirected graphs they alias the forward arrays; on
-	// directed graphs they are built from the out-edges regardless of
-	// Options.TrackInEdges.
-	InOff []int32
-	InNbr []int32
-}
-
-// SysIndexField is the schema field that carries a vertex's View index.
-const SysIndexField = "sys.index"
-
-// View snapshots the graph and index-resolves its adjacency. It is an
-// O(V log V + E) operation.
-func (g *Graph) View() *View {
-	n := g.VertexCount()
-	vs := make([]*Vertex, 0, n)
-	for i := range g.shards {
-		sh := &g.shards[i]
-		sh.mu.RLock()
-		for _, v := range sh.verts {
-			if !v.dead {
-				vs = append(vs, v)
-			}
-		}
-		sh.mu.RUnlock()
-	}
-	sort.Slice(vs, func(i, j int) bool { return vs[i].ID < vs[j].ID })
-	idxSlot := g.EnsureField(SysIndexField)
-	pos := make(map[VertexID]int32, len(vs))
-	for i, v := range vs {
-		pos[v.ID] = Index32(i)
-		v.props[idxSlot] = float64(i)
-	}
-	vw := &View{Verts: vs, pos: pos}
-	vw.resolve(g.directed)
-	return vw
-}
-
-// resolve builds the flat adjacency arrays from the snapshot.
-func (vw *View) resolve(directed bool) {
-	n := len(vw.Verts)
-	off := make([]int32, n+1)
-	deg := 0
-	for i, v := range vw.Verts {
-		off[i] = Index32(deg)
-		for k := range v.Out {
-			if _, ok := vw.pos[v.Out[k].To]; ok {
-				deg++
-			}
-		}
-	}
-	off[n] = Index32(deg)
-	nbr := make([]int32, deg)
-	wts := make([]float64, deg)
-	p := 0
-	for _, v := range vw.Verts {
-		for k := range v.Out {
-			if j, ok := vw.pos[v.Out[k].To]; ok {
-				nbr[p] = j
-				wts[p] = v.Out[k].Weight
-				p++
-			}
-		}
-	}
-	vw.NbrOff, vw.Nbr, vw.NbrW = off, nbr, wts
-	if !directed {
-		vw.InOff, vw.InNbr = off, nbr
-		return
-	}
-	// Reverse arrays: counting sort of the forward edges by target.
-	inOff := make([]int32, n+1)
-	for _, j := range nbr {
-		inOff[j+1]++
-	}
-	for i := 0; i < n; i++ {
-		inOff[i+1] += inOff[i]
-	}
-	inNbr := make([]int32, deg)
-	fill := make([]int32, n)
-	for i := 0; i < n; i++ {
-		for k := off[i]; k < off[i+1]; k++ {
-			j := nbr[k]
-			inNbr[inOff[j]+fill[j]] = Index32(i)
-			fill[j]++
-		}
-	}
-	vw.InOff, vw.InNbr = inOff, inNbr
-}
-
-// IndexOf returns the dense index of id, or -1.
-func (vw *View) IndexOf(id VertexID) int32 {
-	if i, ok := vw.pos[id]; ok {
-		return i
-	}
-	return -1
-}
-
-// Len returns the number of vertices in the view.
-func (vw *View) Len() int { return len(vw.Verts) }
-
-// Degree returns the resolved out-degree of dense index i (edges to dead
-// vertices excluded).
-func (vw *View) Degree(i int32) int32 { return vw.NbrOff[i+1] - vw.NbrOff[i] }
-
-// Adj returns the resolved out-neighbor indices of dense index i.
-func (vw *View) Adj(i int32) []int32 { return vw.Nbr[vw.NbrOff[i]:vw.NbrOff[i+1]] }
-
-// AdjW returns the edge weights parallel to Adj(i).
-func (vw *View) AdjW(i int32) []float64 { return vw.NbrW[vw.NbrOff[i]:vw.NbrOff[i+1]] }
-
-// InAdj returns the in-neighbor indices of dense index i (equal to Adj on
-// undirected graphs).
-func (vw *View) InAdj(i int32) []int32 { return vw.InNbr[vw.InOff[i]:vw.InOff[i+1]] }
-
-// EdgeTotal returns the number of resolved directed edge records.
-func (vw *View) EdgeTotal() int64 { return int64(len(vw.Nbr)) }

@@ -1,0 +1,28 @@
+package property
+
+// Relayout reassigns the simulated addresses of every vertex in vw — the
+// vertex record + property block, the out-edge chunk, and the in-edge
+// chunk — in view order from a fresh arena region. Vertex records that are
+// adjacent in the view become adjacent in the simulated address space, so
+// perfmon-instrumented runs observe the cache behavior a reordering would
+// produce if the graph had been loaded in that order; without it, a
+// permuted view changes iteration order but every FindVertex/GetProp still
+// hits the original insertion-order addresses and the cache model sees no
+// layout change.
+//
+// Relayout mutates layout metadata only (no vertex, edge, or property
+// values), but it must not run concurrently with any other use of the
+// graph, and it invalidates address assumptions of previously captured
+// traces. The harness applies it to throwaway Clones when measuring
+// per-ordering MPKI, keeping the parity graphs byte-identical.
+func Relayout(g *Graph, vw *View) {
+	for _, v := range vw.Verts {
+		v.addr = g.arena.Alloc(vertexRecordBytes+uint64(len(v.props))*propSlotBytes, 64)
+		if v.edgeCap > 0 {
+			v.edgeAddr = g.arena.Alloc(uint64(v.edgeCap)*g.edgeRec, 64)
+		}
+		if v.inCap > 0 {
+			v.inAddr = g.arena.Alloc(uint64(v.inCap)*inRecordBytes, 64)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package property
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildViewTestGraph returns a directed graph exercising the awkward
+// resolution paths: sparse IDs (defeating the dense-LUT fast path when
+// spread is large), dead edge targets, and uneven degrees.
+func buildViewTestGraph(t testing.TB, n int, seed int64, sparse bool) *Graph {
+	t.Helper()
+	g := New(Options{Directed: true, TrackInEdges: true, Shards: 16, Hint: n})
+	rng := rand.New(rand.NewSource(seed))
+	ids := make([]VertexID, n)
+	for i := range ids {
+		if sparse {
+			ids[i] = VertexID(i*97 + rng.Intn(13)*7919)
+		} else {
+			ids[i] = VertexID(i)
+		}
+	}
+	for _, id := range ids {
+		g.AddVertex(id)
+	}
+	for i := 0; i < n; i++ {
+		d := rng.Intn(8)
+		if i%17 == 0 {
+			d += 24 // a few heavy hitters
+		}
+		for k := 0; k < d; k++ {
+			to := ids[rng.Intn(n)]
+			if to == ids[i] {
+				continue
+			}
+			if err := g.AddEdge(ids[i], to, float64(rng.Intn(9)+1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Kill some vertices so resolution must drop edges to dead targets.
+	for i := 3; i < n; i += 11 {
+		if _, err := g.DeleteVertex(ids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func viewsEqual(t *testing.T, label string, a, b *View) {
+	t.Helper()
+	if len(a.Verts) != len(b.Verts) {
+		t.Fatalf("%s: vert count %d != %d", label, len(a.Verts), len(b.Verts))
+	}
+	for i := range a.Verts {
+		if a.Verts[i] != b.Verts[i] {
+			t.Fatalf("%s: Verts[%d] differ: %d vs %d", label, i, a.Verts[i].ID, b.Verts[i].ID)
+		}
+	}
+	eq32 := func(name string, x, y []int32) {
+		if len(x) != len(y) {
+			t.Fatalf("%s: %s length %d != %d", label, name, len(x), len(y))
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				t.Fatalf("%s: %s[%d] = %d != %d", label, name, i, x[i], y[i])
+			}
+		}
+	}
+	eq32("NbrOff", a.NbrOff, b.NbrOff)
+	eq32("Nbr", a.Nbr, b.Nbr)
+	eq32("InOff", a.InOff, b.InOff)
+	eq32("InNbr", a.InNbr, b.InNbr)
+	for i := range a.NbrW {
+		if a.NbrW[i] != b.NbrW[i] {
+			t.Fatalf("%s: NbrW[%d] = %v != %v", label, i, a.NbrW[i], b.NbrW[i])
+		}
+	}
+	for id, p := range a.pos {
+		if b.pos[id] != p {
+			t.Fatalf("%s: pos[%d] = %d != %d", label, id, p, b.pos[id])
+		}
+	}
+}
+
+// TestViewParallelMatchesReference checks the tentpole's central contract:
+// ViewWith output is a function of graph state only, identical across
+// worker counts and identical to the retained seed implementation.
+func TestViewParallelMatchesReference(t *testing.T) {
+	for _, sparse := range []bool{false, true} {
+		for _, n := range []int{1, 5, 300, 3000} {
+			g := buildViewTestGraph(t, n, int64(n)+3, sparse)
+			ref := g.ViewReference()
+			for _, w := range []int{1, 2, 8} {
+				vw := g.ViewWith(ViewOpts{Workers: w})
+				viewsEqual(t, "workers", ref, vw)
+			}
+		}
+	}
+}
+
+// TestReverseCSRParallelMatchesSerial is the satellite property test: the
+// per-worker-histogram counting sort must match the serial counting sort
+// exactly for arbitrary CSRs and worker counts.
+func TestReverseCSRParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		n := 1024 + rng.Intn(6000) // above the serial-fallback floor
+		off := make([]int32, n+1)
+		for i := 0; i < n; i++ {
+			off[i+1] = off[i] + int32(rng.Intn(6))
+		}
+		nbr := make([]int32, off[n])
+		for i := range nbr {
+			nbr[i] = int32(rng.Intn(n))
+		}
+		wantOff, wantNbr := reverseCSRSerial(n, off, nbr)
+		for _, w := range []int{2, 3, 7, 16} {
+			gotOff, gotNbr := reverseCSR(n, off, nbr, w)
+			for i := range wantOff {
+				if gotOff[i] != wantOff[i] {
+					t.Fatalf("w=%d inOff[%d] = %d != %d", w, i, gotOff[i], wantOff[i])
+				}
+			}
+			for i := range wantNbr {
+				if gotNbr[i] != wantNbr[i] {
+					t.Fatalf("w=%d inNbr[%d] = %d != %d", w, i, gotNbr[i], wantNbr[i])
+				}
+			}
+		}
+	}
+}
+
+// TestViewOrderComposition checks the remap contract: under any
+// permutation the per-VertexID adjacency (neighbor ID multisets with
+// weights), IndexOf, sys.index, and the reverse arrays all stay mutually
+// consistent with the unordered baseline.
+func TestViewOrderComposition(t *testing.T) {
+	g := buildViewTestGraph(t, 500, 21, true)
+	base := g.View()
+	idxSlot := g.EnsureField(SysIndexField)
+
+	reverse := func(n int) OrderFunc {
+		return func(vn int, off, nbr []int32) []int32 {
+			perm := make([]int32, vn)
+			for i := range perm {
+				perm[i] = int32(vn - 1 - i)
+			}
+			return perm
+		}
+	}
+	shuffle := func(seed int64) OrderFunc {
+		return func(vn int, off, nbr []int32) []int32 {
+			perm := make([]int32, vn)
+			for i := range perm {
+				perm[i] = int32(i)
+			}
+			rand.New(rand.NewSource(seed)).Shuffle(vn, func(a, b int) {
+				perm[a], perm[b] = perm[b], perm[a]
+			})
+			return perm
+		}
+	}
+
+	type edge struct {
+		to VertexID
+		w  float64
+	}
+	adjOf := func(vw *View) map[VertexID][]edge {
+		m := make(map[VertexID][]edge, vw.Len())
+		for i, v := range vw.Verts {
+			i32 := Index32(i)
+			adj, wts := vw.Adj(i32), vw.AdjW(i32)
+			es := make([]edge, len(adj))
+			for k := range adj {
+				es[k] = edge{vw.Verts[adj[k]].ID, wts[k]}
+			}
+			m[v.ID] = es
+		}
+		return m
+	}
+	want := adjOf(base)
+
+	for name, ord := range map[string]OrderFunc{"reverse": reverse(0), "shuffle": shuffle(7)} {
+		vw := g.ViewWith(ViewOpts{Order: ord, Workers: 4})
+		if vw.Len() != base.Len() {
+			t.Fatalf("%s: length changed", name)
+		}
+		got := adjOf(vw)
+		for id, es := range want {
+			ges := got[id]
+			if len(ges) != len(es) {
+				t.Fatalf("%s: vertex %d degree %d != %d", name, id, len(ges), len(es))
+			}
+			for k := range es {
+				// Within-vertex neighbor order must be preserved exactly.
+				if ges[k] != es[k] {
+					t.Fatalf("%s: vertex %d edge %d = %v != %v", name, id, k, ges[k], es[k])
+				}
+			}
+		}
+		for i, v := range vw.Verts {
+			if vw.IndexOf(v.ID) != Index32(i) {
+				t.Fatalf("%s: IndexOf(%d) = %d, want %d", name, v.ID, vw.IndexOf(v.ID), i)
+			}
+			if int(v.Prop(idxSlot)) != i {
+				t.Fatalf("%s: sys.index of %d = %v, want %d", name, v.ID, v.Prop(idxSlot), i)
+			}
+		}
+		// Reverse arrays: brute-force in-neighbor sets from the forward CSR.
+		n := vw.Len()
+		wantIn := make([][]int32, n)
+		for i := 0; i < n; i++ {
+			for _, j := range vw.Adj(Index32(i)) {
+				wantIn[j] = append(wantIn[j], Index32(i))
+			}
+		}
+		for j := 0; j < n; j++ {
+			got := vw.InAdj(Index32(j))
+			if len(got) != len(wantIn[j]) {
+				t.Fatalf("%s: in-degree of %d = %d, want %d", name, j, len(got), len(wantIn[j]))
+			}
+			for k := range got {
+				// Sources were appended in ascending i, matching the
+				// counting sort's ascending-source invariant.
+				if got[k] != wantIn[j][k] {
+					t.Fatalf("%s: InAdj(%d)[%d] = %d, want %d", name, j, k, got[k], wantIn[j][k])
+				}
+			}
+		}
+	}
+}
+
+func TestApplyOrderRejectsNonBijections(t *testing.T) {
+	g := buildViewTestGraph(t, 40, 5, false)
+	for name, bad := range map[string]OrderFunc{
+		"short":     func(n int, off, nbr []int32) []int32 { return make([]int32, n/2) },
+		"duplicate": func(n int, off, nbr []int32) []int32 { return make([]int32, n) },
+		"range": func(n int, off, nbr []int32) []int32 {
+			p := make([]int32, n)
+			for i := range p {
+				p[i] = int32(n) // out of range
+			}
+			return p
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			g.ViewWith(ViewOpts{Order: bad})
+		}()
+	}
+}
+
+func TestRelayoutPreservesContent(t *testing.T) {
+	g := buildViewTestGraph(t, 200, 9, false)
+	vw := g.View()
+	type snap struct {
+		id    VertexID
+		props []float64
+		out   []Edge
+	}
+	before := make([]snap, vw.Len())
+	for i, v := range vw.Verts {
+		before[i] = snap{v.ID, append([]float64(nil), v.props...), append([]Edge(nil), v.Out...)}
+	}
+	Relayout(g, vw)
+	for i, v := range vw.Verts {
+		if v.ID != before[i].id {
+			t.Fatalf("vertex %d ID changed", i)
+		}
+		for k := range v.props {
+			if v.props[k] != before[i].props[k] {
+				t.Fatalf("vertex %d prop %d changed", i, k)
+			}
+		}
+		for k := range v.Out {
+			if v.Out[k].To != before[i].out[k].To || v.Out[k].Weight != before[i].out[k].Weight {
+				t.Fatalf("vertex %d edge %d changed", i, k)
+			}
+		}
+	}
+	// Addresses follow view order: each vertex record sits after its
+	// predecessor's.
+	for i := 1; i < vw.Len(); i++ {
+		if vw.Verts[i].addr <= vw.Verts[i-1].addr {
+			t.Fatalf("relayout order broken at %d: %d <= %d", i, vw.Verts[i].addr, vw.Verts[i-1].addr)
+		}
+	}
+}
