@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"github.com/graphbig/graphbig-go/internal/harness"
+	"github.com/graphbig/graphbig-go/internal/order"
 )
 
 func main() {
@@ -29,7 +30,8 @@ func main() {
 	scale := flag.Float64("scale", cfg.Scale, "fraction of paper-scale dataset sizes")
 	seed := flag.Int64("seed", cfg.Seed, "generation seed")
 	exp := flag.String("exp", "", "experiment id(s), comma-separated (e.g. fig05,fig07); empty = all")
-	ordering := flag.String("order", "", "vertex ordering for dataset views: none|degree|hub|rcm")
+	ordering := flag.String("order", "", "vertex ordering for dataset views: "+order.FlagUsage())
+	partitions := flag.Int("partitions", 0, "k-way partition plan composed into dataset views; 0 = flat")
 	jsonOut := flag.Bool("json", false, "measure the benchmark trajectory and write results/BENCH_<scale>.json")
 	jsonDir := flag.String("json-dir", "results", "directory for -json output")
 	md := flag.Bool("md", false, "emit markdown tables")
@@ -49,6 +51,7 @@ func main() {
 	cfg.Scale = *scale
 	cfg.Seed = *seed
 	cfg.Order = *ordering
+	cfg.Partitions = *partitions
 	s := harness.NewSession(cfg)
 
 	if *jsonOut {
@@ -57,7 +60,7 @@ func main() {
 			fatal(err)
 		}
 		path := harness.BenchPath(*jsonDir, cfg.Scale)
-		if err := harness.WriteBenchJSON(path, recs); err != nil {
+		if err := harness.WriteBenchJSON(path, harness.NewBenchMeta(cfg), recs); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("wrote %d records to %s\n", len(recs), path)

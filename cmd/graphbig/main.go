@@ -24,6 +24,7 @@ import (
 	"github.com/graphbig/graphbig-go/internal/harness"
 	"github.com/graphbig/graphbig-go/internal/loader"
 	"github.com/graphbig/graphbig-go/internal/order"
+	"github.com/graphbig/graphbig-go/internal/partition"
 	"github.com/graphbig/graphbig-go/internal/perfmon"
 	"github.com/graphbig/graphbig-go/internal/property"
 	"github.com/graphbig/graphbig-go/internal/simt"
@@ -38,7 +39,9 @@ func main() {
 	scale := flag.Float64("scale", 0.02, "generation scale")
 	seed := flag.Int64("seed", 42, "seed")
 	workers := flag.Int("workers", 0, "native worker count (0 = GOMAXPROCS)")
-	ordering := flag.String("order", "none", "vertex ordering composed into the view: none|degree|hub|rcm")
+	ordering := flag.String("order", "none", "vertex ordering composed into the view: "+order.FlagUsage())
+	partitions := flag.Int("partitions", 0, "k-way partitioned (subgraph-centric) native execution; 0 = flat engine")
+	partitionBy := flag.String("partition-by", "edge", "partition balance target: edge|vertex")
 	profile := flag.Bool("profile", false, "run instrumented on the CPU model")
 	gpu := flag.Bool("gpu", false, "run the GPU implementation on the SIMT device")
 	samples := flag.Int("samples", 0, "workload sample parameter (BCentr sources, GUp deletions, Gibbs sweeps)")
@@ -83,6 +86,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	pmode, err := partition.ModeByName(*partitionBy)
+	if err != nil {
+		fatal(err)
+	}
 	ctx := &core.RunContext{Opt: workloads.Options{Workers: *workers, Seed: *seed, Samples: *samples}}
 
 	if wl.NeedsBayes {
@@ -114,13 +121,19 @@ func main() {
 	}
 	fmt.Printf("input: %d vertices, %d edges\n", g.VertexCount(), g.EdgeCount())
 
-	// makeView composes the requested ordering into the dense view. For
-	// instrumented runs a non-default ordering also re-lays-out the
-	// simulated addresses (property.Relayout) so the cache model sees the
-	// locality the ordering produces; "none" keeps the seed layout and
-	// byte-identical traces.
+	// makeView composes the requested ordering and partition plan into the
+	// dense view. For instrumented runs a non-default ordering also
+	// re-lays-out the simulated addresses (property.Relayout) so the cache
+	// model sees the locality the ordering produces; "none" keeps the seed
+	// layout and byte-identical traces. The partition plan only changes
+	// native engine scheduling — instrumented runs ignore it.
 	makeView := func(relayout bool) *property.View {
-		vw := g.ViewWith(property.ViewOpts{Workers: *workers, Order: ord})
+		vw := g.ViewWith(property.ViewOpts{
+			Workers:       *workers,
+			Order:         ord,
+			Partitions:    *partitions,
+			PartitionMode: pmode,
+		})
 		if relayout && ord != nil {
 			property.Relayout(g, vw)
 		}

@@ -35,6 +35,7 @@ import (
 	"github.com/graphbig/graphbig-go/internal/engine"
 	"github.com/graphbig/graphbig-go/internal/gen"
 	"github.com/graphbig/graphbig-go/internal/harness"
+	"github.com/graphbig/graphbig-go/internal/partition"
 	"github.com/graphbig/graphbig-go/internal/property"
 	"github.com/graphbig/graphbig-go/internal/workloads"
 )
@@ -73,9 +74,21 @@ type View = property.View
 type ViewOpts = property.ViewOpts
 
 // OrderFunc computes a vertex-reordering permutation (perm[new] = old)
-// from a resolved CSR; internal/order provides degree, hub-clustering and
-// RCM strategies.
+// from a resolved CSR; internal/order provides degree, hub-clustering,
+// RCM and cluster strategies.
 type OrderFunc = property.OrderFunc
+
+// PartitionPlan describes a k-way contiguous partitioning of a view's
+// index space: per-partition vertex ranges, ownership, and the boundary
+// vertices whose edges cross partitions. Build one by setting
+// ViewOpts.Partitions; the engine then runs subgraph-centrically (one
+// sequential kernel per partition, boundary exchange between supersteps)
+// with results identical to flat execution.
+type PartitionPlan = partition.Plan
+
+// PartitionMode selects the partitioner's balance target (edge- or
+// vertex-balanced contiguous chunking).
+type PartitionMode = partition.Mode
 
 // Engine is the unified direction-optimizing frontier engine; workload
 // authors build traversals on it (see internal/engine).

@@ -8,5 +8,5 @@ import (
 )
 
 func TestAtomicHygiene(t *testing.T) {
-	analysis.RunTest(t, atomichygiene.Analyzer, "internal/concurrent", "internal/other")
+	analysis.RunTest(t, atomichygiene.Analyzer, "internal/concurrent", "internal/engine", "internal/other")
 }

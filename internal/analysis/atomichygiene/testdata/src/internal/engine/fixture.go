@@ -1,0 +1,46 @@
+// Fixture modelling the partitioned engine's boundary-exchange
+// bookkeeping (DESIGN.md §10) for the atomichygiene analyzer:
+// internal/engine is in scope for both the ignored-CAS and mixed-access
+// rules.
+package engine
+
+import "sync/atomic"
+
+// state carries per-superstep exchange counters.
+type state struct {
+	sent   int64        // atomic in emit, plain in summary: mixed
+	claims atomic.Int64 // wrapper type: safe by construction
+}
+
+func (s *state) emit(n int64) { atomic.AddInt64(&s.sent, n) }
+
+// Positive: reading the emit-phase counter plainly while workers may
+// still be adding to it.
+func (s *state) summary() int64 {
+	return s.sent // want "field sent is accessed with sync/atomic"
+}
+
+// Positive: a first-claim CAS whose outcome is dropped — the partition
+// proceeds whether or not it owned the vertex, exactly the bug the
+// claim protocol exists to prevent.
+func claimIgnored(owner *int32, p int32) {
+	atomic.CompareAndSwapInt32(owner, -1, p) // want "CompareAndSwapInt32 result ignored"
+}
+
+// Negative: the claim protocol consumes the outcome.
+func claim(owner *int32, p int32) bool {
+	return atomic.CompareAndSwapInt32(owner, -1, p)
+}
+
+// Negative: wrapper-typed counters mix Load/Add freely.
+func (s *state) addClaim()    { s.claims.Add(1) }
+func (s *state) total() int64 { return s.claims.Load() }
+
+// Negative: epoch stamps are single-writer between barriers — every
+// access plain, one memory model.
+type epochs struct{ stamp int64 }
+
+func (e *epochs) bump() int64 {
+	e.stamp++
+	return e.stamp
+}

@@ -10,7 +10,8 @@ import (
 // TestLockset covers the per-field discipline rules (atomic/plain mix,
 // missing lock, competing locks), the interprocedural entry lock sets
 // (bump), the defer/unlock flow sensitivity, closure resets, the
-// constructor exemption, and cross-package field access.
+// constructor exemption, cross-package field access, and the
+// partitioned engine's boundary-exchange state patterns.
 func TestLockset(t *testing.T) {
-	analysis.RunTest(t, lockset.Analyzer, "internal/concurrent", "example.com/client")
+	analysis.RunTest(t, lockset.Analyzer, "internal/concurrent", "internal/engine", "example.com/client")
 }

@@ -1,0 +1,85 @@
+// Package engine (fixture) models the partitioned engine's
+// boundary-exchange state (DESIGN.md §10): per-partition mailboxes whose
+// safety comes from phase discipline rather than locks, a superstep
+// coordinator with a mutex-guarded pending count, and epoch stamps that
+// are single-writer between barriers. The analyzer must stay quiet on
+// the disciplined patterns and flag the mixed ones.
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// mailbox models one src→dst boundary message box. The real
+// concurrent.Mailboxes type is safe by phase discipline — row-writer
+// during emit, column-reader during apply, a barrier between — so every
+// access is bare by design. Consistently bare fields draw no finding.
+type mailbox struct {
+	msgs []int32
+}
+
+func (m *mailbox) put(v int32) { m.msgs = append(m.msgs, v) }
+
+func (m *mailbox) drain() []int32 {
+	out := m.msgs
+	m.msgs = m.msgs[:0]
+	return out
+}
+
+// exchange models the superstep coordinator.
+type exchange struct {
+	mu      sync.Mutex
+	pending int   // mu-guarded where workers report; bare reads are the bug
+	sent    int64 // sync/atomic in emit, plain in traffic: mixed model
+	stamp   int64 // epoch stamp: single-writer between barriers, always bare
+}
+
+func (e *exchange) report(n int) {
+	e.mu.Lock()
+	e.pending += n
+	e.mu.Unlock()
+}
+
+// Positive: reading the pending count without the lock races the
+// workers still reporting.
+func (e *exchange) progress() int {
+	return e.pending // want "field pending is protected by mu at fixture.go:\\d+ but accessed here without it"
+}
+
+// Positive: a goroutine literal escapes the critical section — the
+// closure may run after apply returned and unlocked.
+func (e *exchange) spawnWorker() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	go func() {
+		e.pending++ // want "field pending is protected by mu"
+	}()
+}
+
+// Negative (interprocedural): applyLocked is only ever called with mu
+// held, so its bare-looking access is classified as locked.
+func (e *exchange) apply(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.applyLocked(n)
+}
+
+func (e *exchange) applyLocked(n int) {
+	e.pending -= n
+}
+
+// Positive: the boundary-traffic counter is bumped atomically during
+// the parallel emit phase but read plainly here — two memory models on
+// one field.
+func (e *exchange) emit() { atomic.AddInt64(&e.sent, 1) }
+
+func (e *exchange) traffic() int64 {
+	return e.sent // want "field sent is accessed with sync/atomic at fixture.go:\\d+ but plainly here"
+}
+
+// Negative: the epoch stamp is only ever touched by the coordinator
+// between barriers — all accesses bare, one consistent discipline.
+func (e *exchange) bumpStamp() { e.stamp++ }
+
+func (e *exchange) epoch() int64 { return e.stamp }

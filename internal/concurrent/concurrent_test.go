@@ -240,3 +240,53 @@ func TestChunkBounds(t *testing.T) {
 		}
 	}
 }
+
+func TestMailboxesRowColumnDiscipline(t *testing.T) {
+	const k = 5
+	m := NewMailboxes[int32](k)
+	if m.K() != k {
+		t.Fatalf("K = %d", m.K())
+	}
+	// Phase 1: every partition appends to its own row concurrently.
+	ParallelItems(k, k, 1, func(src int) {
+		for dst := int32(0); dst < k; dst++ {
+			if int32(src) == dst {
+				continue
+			}
+			for i := int32(0); i < 10; i++ {
+				m.Put(int32(src), dst, int32(src)*1000+dst*10+i)
+			}
+		}
+	})
+	if m.Pending() != k*(k-1)*10 {
+		t.Fatalf("Pending = %d, want %d", m.Pending(), k*(k-1)*10)
+	}
+	// Phase 2 (after the ParallelItems barrier): every partition drains
+	// its own column concurrently; sources must arrive ascending.
+	var total atomic.Int64
+	ParallelItems(k, k, 1, func(dst int) {
+		lastSrc := int32(-1)
+		n := m.Drain(int32(dst), func(msg int32) {
+			src := msg / 1000
+			if src < lastSrc {
+				t.Errorf("dst %d: source order violated: %d after %d", dst, src, lastSrc)
+			}
+			lastSrc = src
+			if (msg/10)%100 != int32(dst) {
+				t.Errorf("dst %d received foreign message %d", dst, msg)
+			}
+		})
+		total.Add(int64(n))
+	})
+	if total.Load() != k*(k-1)*10 {
+		t.Fatalf("drained %d, want %d", total.Load(), k*(k-1)*10)
+	}
+	if m.Pending() != 0 {
+		t.Fatalf("Pending after drain = %d", m.Pending())
+	}
+	// Boxes are reusable: capacity retained, contents cleared.
+	m.Put(1, 2, 7)
+	if m.Pending() != 1 {
+		t.Fatal("reuse after drain failed")
+	}
+}

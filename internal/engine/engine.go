@@ -49,7 +49,8 @@ type Engine struct {
 	// across Traverse calls (CComp runs one traversal per component).
 	cur, next *concurrent.Frontier
 	bits      [2]*concurrent.Bitmap
-	sparse    []int32 // scratch for bitmap sparsification at pull exit
+	sparse    []int32    // scratch for bitmap sparsification at pull exit
+	prt       *partState // partitioned-mode scaffolding (partitioned.go)
 }
 
 // New returns an engine over g's view. workers follows the suite rule:

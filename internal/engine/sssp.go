@@ -1,0 +1,208 @@
+package engine
+
+import (
+	"github.com/graphbig/graphbig-go/internal/concurrent"
+	"github.com/graphbig/graphbig-go/internal/property"
+)
+
+// Partitioned delta-stepping (the SPathDelta kernel as a subgraph-centric
+// computation). The structure mirrors partitionedTraverse: each partition
+// runs a sequential delta-stepping pass over its owned subgraph — local
+// dense buckets, single writer on the distance slots it owns, no mutex —
+// and cut-edge relaxations travel as (vertex, distance) float messages
+// between supersteps. Relaxation is label-correcting by nature, so the
+// loop converges to exactly the flat kernel's distances: both compute the
+// minimum over the same set of left-to-right float path sums, making the
+// results bitwise identical (the workload differential tests pin this).
+
+// wmsg is one weighted boundary message: "vertex V is reachable at
+// tentative distance D".
+type wmsg struct {
+	v int32
+	d float64
+}
+
+// SSSPStats summarizes one PartitionedSSSP call.
+type SSSPStats struct {
+	Relaxed      int64 // successful relaxations (local + applied boundary)
+	Buckets      int64 // non-empty buckets drained, summed over partitions
+	Supersteps   int
+	BoundarySent int64
+}
+
+// ssspState extends the partitioned scaffolding with the delta-stepping
+// buckets, allocated on first PartitionedSSSP use.
+type ssspState struct {
+	mail  *concurrent.Mailboxes[wmsg]
+	bkt   [][][]int32 // bkt[p][b]: partition p's bucket b
+	bhigh []int       // highest bucket index pushed per partition
+}
+
+func (e *Engine) ssspScaffold(ps *partState) *ssspState {
+	if ps.sssp == nil {
+		k := ps.plan.K
+		ps.sssp = &ssspState{
+			mail:  concurrent.NewMailboxes[wmsg](k),
+			bkt:   make([][][]int32, k),
+			bhigh: make([]int, k),
+		}
+	}
+	return ps.sssp
+}
+
+// PartitionedSSSP runs delta-stepping from srcs over the view's partition
+// plan. dist must hold +Inf for unreached slots and the sources' tentative
+// distances (0 by convention); it is updated in place to the exact
+// shortest-path distances. The view must carry a partition plan and the
+// engine must not be tracked — callers gate on View().Partitions().
+func (e *Engine) PartitionedSSSP(dist []float64, delta float64, srcs ...int32) SSSPStats {
+	if len(dist) != e.n {
+		panic("engine: dist length does not match view")
+	}
+	ps := e.partitioned()
+	ss := e.ssspScaffold(ps)
+	plan := ps.plan
+	k := plan.K
+	var st SSSPStats
+	for p := 0; p < k; p++ {
+		ps.dirty[p] = ps.dirty[p][:0]
+		for b := range ss.bkt[p] {
+			ss.bkt[p][b] = ss.bkt[p][b][:0]
+		}
+		ss.bhigh[p] = 0
+	}
+	ps.dirtyStamp = ps.nextStamp()
+	for _, s := range srcs {
+		p := plan.Of(s)
+		ss.push(int(p), int(dist[s]/delta), s)
+		ps.markDirty(p, s)
+	}
+	workers := e.Workers()
+	for {
+		st.Supersteps++
+		// Phase 1 — each partition drains all its buckets to local
+		// convergence; cross-partition edges are skipped here.
+		concurrent.ParallelItems(k, workers, 1, func(p int) {
+			e.localSSSP(ps, ss, dist, delta, property.Index32(p))
+		})
+		for p := 0; p < k; p++ {
+			st.Relaxed += ps.localApply[p]
+			st.Buckets += ps.localPush[p] // localPush reused: buckets drained
+		}
+		// Phase 2 — emit every dirty boundary vertex's tentative distance
+		// across its cut edges, one message per (vertex, cut edge).
+		concurrent.ParallelItems(k, workers, 1, func(p int) {
+			e.emitSSSP(ps, ss, dist, property.Index32(p))
+		})
+		sent := ss.mail.Pending()
+		st.BoundarySent += sent
+		ps.dirtyStamp = ps.nextStamp()
+		if sent == 0 {
+			break
+		}
+		// Phase 3 — apply improvements into the owner's buckets.
+		concurrent.ParallelItems(k, workers, 1, func(p int) {
+			var got int64
+			ss.mail.Drain(property.Index32(p), func(m wmsg) {
+				if m.d < dist[m.v] {
+					dist[m.v] = m.d
+					ss.push(p, int(m.d/delta), m.v)
+					ps.markDirty(property.Index32(p), m.v)
+					got++
+				}
+			})
+			ps.localApply[p] = got
+		})
+		var applied int64
+		for p := 0; p < k; p++ {
+			applied += ps.localApply[p]
+			st.Relaxed += ps.localApply[p]
+		}
+		if applied == 0 {
+			break
+		}
+	}
+	return st
+}
+
+// push appends v to partition p's bucket b, growing the dense bucket
+// array as needed. Only partition p's worker may call it during a phase.
+func (ss *ssspState) push(p, b int, v int32) {
+	for b >= len(ss.bkt[p]) {
+		ss.bkt[p] = append(ss.bkt[p], nil)
+	}
+	ss.bkt[p][b] = append(ss.bkt[p][b], v)
+	if b > ss.bhigh[p] {
+		ss.bhigh[p] = b
+	}
+}
+
+// localSSSP is the partition-local delta-stepping pass: drain buckets in
+// ascending order, re-adding entries whose tentative distance improves,
+// until every local bucket is empty. Stale entries (settled into a lower
+// bucket since being pushed) are skipped, exactly like the flat kernel.
+// Per-partition counters ride in localApply (relaxations) and localPush
+// (non-empty buckets drained).
+func (e *Engine) localSSSP(ps *partState, ss *ssspState, dist []float64, delta float64, p int32) {
+	vw := e.vw
+	lo, hi := ps.plan.Range(int(p))
+	var relaxed, drained int64
+	for b := 0; b <= ss.bhigh[p]; b++ {
+		if b >= len(ss.bkt[p]) || len(ss.bkt[p][b]) == 0 {
+			continue
+		}
+		drained++
+		for {
+			work := ss.bkt[p][b]
+			if len(work) == 0 {
+				break
+			}
+			ss.bkt[p][b] = nil
+			for _, u := range work {
+				du := dist[u]
+				if int(du/delta) < b {
+					continue // stale entry; settled in a lower bucket
+				}
+				adj := vw.Adj(u)
+				wts := vw.AdjW(u)[:len(adj)]
+				for j, v := range adj {
+					if v < lo || v >= hi {
+						continue
+					}
+					nd := du + wts[j]
+					if nd < dist[v] {
+						dist[v] = nd
+						ss.push(int(p), int(nd/delta), v)
+						ps.markDirty(p, v)
+						relaxed++
+					}
+				}
+			}
+			// The drained slice's capacity is lost to the re-pushed
+			// buckets; the dense array itself is reused across calls.
+		}
+	}
+	ss.bhigh[p] = 0
+	ps.localApply[p] = relaxed
+	ps.localPush[p] = drained
+}
+
+// emitSSSP posts each dirty boundary vertex's tentative distance plus the
+// cut-edge weight to the edge target's owner.
+func (e *Engine) emitSSSP(ps *partState, ss *ssspState, dist []float64, p int32) {
+	vw := e.vw
+	plan := ps.plan
+	lo, hi := plan.Range(int(p))
+	for _, u := range ps.dirty[p] {
+		du := dist[u]
+		adj := vw.Adj(u)
+		wts := vw.AdjW(u)[:len(adj)]
+		for j, v := range adj {
+			if v >= lo && v < hi {
+				continue
+			}
+			ss.mail.Put(p, plan.Of(v), wmsg{v: v, d: du + wts[j]})
+		}
+	}
+	ps.dirty[p] = ps.dirty[p][:0]
+}

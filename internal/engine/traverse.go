@@ -45,12 +45,17 @@ type Spec struct {
 	TrackedVisit func(k int, u, round int32, emit func(v int32) int)
 }
 
-// Stats summarizes one Traverse call.
+// Stats summarizes one Traverse call. PushRounds/PullRounds count global
+// rounds in flat mode and the sum of partition-local rounds in partitioned
+// mode; Supersteps and BoundarySent are zero except in partitioned mode.
 type Stats struct {
 	Reached    int64 // vertices claimed, including the sources
 	Depth      int32 // highest round assigned (0 if only sources)
 	PushRounds int
 	PullRounds int
+
+	Supersteps   int   // partitioned mode: boundary-exchange iterations
+	BoundarySent int64 // partitioned mode: cross-partition messages posted
 }
 
 // Traverse runs a level-synchronous traversal from srcs. Sources must
@@ -73,9 +78,12 @@ func (e *Engine) Traverse(spec *Spec, srcs ...int32) Stats {
 		cur.Push(s)
 	}
 	st := Stats{Reached: int64(len(srcs))}
-	if e.Tracked() {
+	switch {
+	case e.Tracked():
 		e.trackedPush(spec, cur, next, &st)
-	} else {
+	case e.partitionedOK(spec):
+		e.partitionedTraverse(spec, cur, &st)
+	default:
 		e.nativeTraverse(spec, cur, next, &st)
 	}
 	return st

@@ -26,6 +26,7 @@ var Experiments = []Experiment{
 	{"ext01", "extension: NDP vs host", Ext01NDP},
 	{"ext02", "extension: LDBC size sweep", Ext02SizeSweep},
 	{"ext03", "extension: ordering cache locality", Ext03Ordering},
+	{"ext04", "extension: partitioned NDP placement", Ext04PartitionPlacement},
 }
 
 // ByID returns the experiment with the given ID.

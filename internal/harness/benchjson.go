@@ -29,6 +29,41 @@ type RunRecord struct {
 	Counters   map[string]float64 `json:"counters,omitempty"`
 }
 
+// BenchMeta records the machine and session parameters a trajectory run
+// executed under, written once per BENCH_<scale>.json file. Counter
+// magnitudes are only comparable within one machine shape, so the
+// metadata travels with the records instead of being reconstructed from
+// git history.
+type BenchMeta struct {
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Workers    int     `json:"workers"` // configured; 0 = GOMAXPROCS
+	Scale      float64 `json:"scale"`
+	Seed       int64   `json:"seed"`
+}
+
+// BenchFile is the on-disk schema of BENCH_<scale>.json: one metadata
+// block plus the measurement records.
+type BenchFile struct {
+	Meta    BenchMeta   `json:"meta"`
+	Records []RunRecord `json:"records"`
+}
+
+// NewBenchMeta captures the current machine shape for cfg.
+func NewBenchMeta(cfg Config) BenchMeta {
+	return BenchMeta{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    cfg.Workers,
+		Scale:      cfg.Scale,
+		Seed:       cfg.Seed,
+	}
+}
+
 // benchRepeats is the per-measurement repetition count. Engine timings
 // keep the minimum of the interleaved repetitions — on a shared host the
 // minimum is the least-contended observation and the standard robust
@@ -173,16 +208,76 @@ func BenchRecords(s *Session) ([]RunRecord, error) {
 			})
 		}
 	}
+
+	// 4. Partitioned execution: wall-clock plus cross-partition boundary
+	// traffic per workload x partition count, under the cluster ordering
+	// (the partition-aware strategy — components land contiguously, so
+	// contiguous chunks cut few edges). k=1 is the degenerate plan and
+	// doubles as the partitioned-overhead baseline.
+	cluster, err := order.ByName("cluster")
+	if err != nil {
+		return nil, err
+	}
+	partViews := make(map[int]*property.View, len(benchPartitionCounts))
+	for _, k := range benchPartitionCounts {
+		partViews[k] = g.ViewWith(property.ViewOpts{
+			Workers: cfg.Workers, Order: cluster, Partitions: k,
+		})
+	}
+	bestPart := make(map[string]cell, len(engineRuns)*len(benchPartitionCounts))
+	for _, er := range engineRuns {
+		for rep := 0; rep < benchRepeats; rep++ {
+			for _, k := range benchPartitionCounts {
+				t0 := time.Now()
+				res, err := er.run(g, workloads.Options{
+					Workers: cfg.Workers, Seed: cfg.Seed, Source: src, View: partViews[k],
+				})
+				ms := float64(time.Since(t0).Nanoseconds()) / 1e6
+				if err != nil {
+					return nil, fmt.Errorf("harness: bench %s k=%d: %w", er.name, k, err)
+				}
+				key := fmt.Sprintf("%s@%d", er.name, k)
+				if c, ok := bestPart[key]; !ok || ms < c.ms {
+					bestPart[key] = cell{ms, res}
+				}
+			}
+		}
+	}
+	for _, k := range benchPartitionCounts {
+		for _, er := range engineRuns {
+			c := bestPart[fmt.Sprintf("%s@%d", er.name, k)]
+			counters := map[string]float64{
+				"visited":  float64(c.res.Visited),
+				"checksum": c.res.Checksum,
+				"repeats":  benchRepeats,
+			}
+			for _, key := range []string{"partitions", "supersteps", "boundary_sent", "cut_edges", "boundary_verts"} {
+				if v, ok := c.res.Stats[key]; ok {
+					counters[key] = v
+				}
+			}
+			recs = append(recs, RunRecord{
+				Experiment: "partition_traffic", Workload: er.name, Dataset: "ldbc",
+				Order: "cluster", Scale: cfg.Scale, Seed: cfg.Seed, WallMS: c.ms,
+				Counters: counters,
+			})
+		}
+	}
 	return recs, nil
 }
 
-// WriteBenchJSON writes records as indented JSON, creating the directory
-// if needed. Path convention: results/BENCH_<scale>.json.
-func WriteBenchJSON(path string, recs []RunRecord) error {
+// benchPartitionCounts is the partition sweep of the partition_traffic
+// records: degenerate, small, and around-core-count plans.
+var benchPartitionCounts = []int{1, 2, 4, 8}
+
+// WriteBenchJSON writes the metadata block and records as indented JSON,
+// creating the directory if needed. Path convention:
+// results/BENCH_<scale>.json.
+func WriteBenchJSON(path string, meta BenchMeta, recs []RunRecord) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}
-	data, err := json.MarshalIndent(recs, "", "  ")
+	data, err := json.MarshalIndent(BenchFile{Meta: meta, Records: recs}, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -123,9 +123,10 @@ func TestByIDAndOrder(t *testing.T) {
 		t.Error("unknown experiment should fail")
 	}
 	// One experiment per paper artifact (11 figures/tables + fig4) plus
-	// the NDP, size-sweep, and ordering-locality extensions.
-	if len(Experiments) != 15 {
-		t.Errorf("experiments = %d, want 15", len(Experiments))
+	// the NDP, size-sweep, ordering-locality, and partitioned-placement
+	// extensions.
+	if len(Experiments) != 16 {
+		t.Errorf("experiments = %d, want 16", len(Experiments))
 	}
 }
 

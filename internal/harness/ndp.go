@@ -66,6 +66,70 @@ func (s *Session) NDPCompare(wlName string) (NDPPoint, error) {
 	return p, nil
 }
 
+// Ext04PartitionPlacement models per-partition data placement on the NDP
+// substrate: each partition's vertex records, property blocks and edge
+// chunks are re-laid-out into their own vault-aligned region
+// (property.RelayoutPartitioned), and the instrumented event stream is
+// fanned to the host cache model and the NDP vault model simultaneously
+// (mem.Multi), so internal/cachesim (inside ndp.Profile) sees the
+// partitioned layout. The instrumented stream is the flat single-threaded
+// walk (the parity-pinned execution), so this measures the placement
+// sensitivity of host-style execution: as partitions spread across
+// vaults, every cut-edge touch becomes a crossbar hop and the local-miss
+// share falls. The remote-miss delta against k=1 approximates the
+// cross-vault traffic a subgraph-centric scheduler (the native engine's
+// partitioned mode) would internalize by running each vault's work on its
+// own unit and batching boundary exchange — the quantitative case for
+// pairing partitioned placement with partitioned execution. Runs happen
+// on throwaway clones; parity graphs are never re-laid-out.
+func Ext04PartitionPlacement(s *Session) (Report, error) {
+	r := Report{
+		ID:      "ext04",
+		Title:   "Extension: partitioned NDP placement (LDBC)",
+		Headers: []string{"workload", "partitions", "cut edges", "local miss", "remote miss", "local share", "ndp Mcycles"},
+	}
+	for _, wlName := range []string{"BFS", "CComp", "SPathDelta"} {
+		wl, err := core.ByName(wlName)
+		if err != nil {
+			return Report{}, err
+		}
+		for _, k := range []int{1, 4, 16} {
+			g, err := s.Graph("ldbc")
+			if err != nil {
+				return Report{}, err
+			}
+			g = property.Clone(g)
+			vw := g.ViewWith(property.ViewOpts{Partitions: k})
+			ndpCfg := ndp.DefaultConfig()
+			property.RelayoutPartitioned(g, vw, ndpCfg.VaultBytes)
+			host := perfmon.NewProfile(s.Cfg.Machine)
+			near := ndp.NewProfile(ndpCfg)
+			multi := mem.NewMulti(host, near)
+			g.SetTracker(multi)
+			ctx := &core.RunContext{
+				Graph: g,
+				Opt:   workloads.Options{Seed: s.Cfg.Seed, View: vw},
+			}
+			_, err = wl.Run(ctx)
+			g.SetTracker(nil)
+			if err != nil {
+				return Report{}, err
+			}
+			nm := near.Report()
+			localShare := 0.0
+			if total := nm.LocalMiss + nm.RemoteMiss; total > 0 {
+				localShare = float64(nm.LocalMiss) / float64(total)
+			}
+			r.AddRow(wlName, fi(k), fi(int(vw.Partitions().CutEdges)),
+				fi(int(nm.LocalMiss)), fi(int(nm.RemoteMiss)),
+				f2(localShare), f2(float64(nm.HostCycles)/1e6))
+		}
+	}
+	r.Notes = append(r.Notes,
+		"vault-aligned per-partition placement under flat (host-style) execution; the falling local share with k is the cross-vault traffic a subgraph-centric NDP scheduler would internalize")
+	return r, nil
+}
+
 // Ext01NDP is the extension experiment behind the paper's future-work
 // note: cost every CPU workload on both the host machine and the NDP
 // model. The memory-bound CompStruct workloads gain the most — the

@@ -83,6 +83,7 @@ func (r Report) CSV() string {
 }
 
 func f2(x float64) string  { return fmt.Sprintf("%.2f", x) }
+func fi(x int) string      { return fmt.Sprintf("%d", x) }
 func f3(x float64) string  { return fmt.Sprintf("%.3f", x) }
 func pc1(x float64) string { return fmt.Sprintf("%.1f%%", x*100) }
 

@@ -32,9 +32,15 @@ type Config struct {
 	// Workers bounds native parallelism during generation.
 	Workers int
 	// Order names the vertex-reordering strategy composed into dataset
-	// views ("", "none", "degree", "hub", "rcm" — see internal/order).
-	// Results are ordering-invariant; only layout and timing change.
+	// views (see order.Names). Results are ordering-invariant; only
+	// layout and timing change.
 	Order string
+	// Partitions composes a k-way partition plan into dataset views when
+	// > 0; native engine runs then execute subgraph-centrically (one
+	// sequential kernel per partition, boundary exchange between
+	// supersteps). Results are partition-invariant; instrumented runs
+	// ignore the plan, keeping parity streams byte-identical.
+	Partitions int
 	// Machine is the simulated CPU (Table 6).
 	Machine perfmon.Config
 	// CPUClockHz and CPUCores parameterize the Fig 12 CPU-side cost model.
@@ -137,7 +143,11 @@ func (s *Session) View(name string) (*property.View, error) {
 	if err != nil {
 		return nil, err
 	}
-	v := g.ViewWith(property.ViewOpts{Workers: s.Cfg.Workers, Order: ord})
+	v := g.ViewWith(property.ViewOpts{
+		Workers:    s.Cfg.Workers,
+		Order:      ord,
+		Partitions: s.Cfg.Partitions,
+	})
 	s.views[name] = v
 	return v, nil
 }

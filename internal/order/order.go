@@ -26,33 +26,65 @@
 //     seed visiting neighbors in ascending-degree order, reversed at the
 //     end; minimizes index bandwidth so neighbor indices stay near their
 //     sources (strong for meshes/roads and community graphs).
+//   - Cluster: the partition-aware strategy — plain Cuthill-McKee visit
+//     order (RCM without the final reversal). Each component's BFS tree
+//     lands on one contiguous index run, so chunking the index space into
+//     contiguous ranges (internal/partition) yields connected subgraphs
+//     with small boundary sets; it is the ordering ViewOpts.Partitions
+//     composes for low-cut partitioned execution (DESIGN.md §10).
 //   - None: the identity (ID-sorted baseline).
 package order
 
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
-// Names lists the selectable strategies in flag/documentation order.
-var Names = []string{"none", "degree", "hub", "rcm"}
+// Names lists the selectable strategies in flag/documentation order. It
+// must stay in lockstep with the registry below; init panics on drift, so
+// a strategy can never be selectable but unlisted (or listed but
+// unselectable).
+var Names = []string{"none", "degree", "hub", "rcm", "cluster"}
 
-// ByName maps a strategy name to its function. The returned function is
-// nil for "none" (callers pass it straight to property.ViewOpts.Order,
-// where nil selects the identity without a permutation pass).
-func ByName(name string) (func(n int, off, nbr []int32) []int32, error) {
-	switch name {
-	case "", "none":
-		return nil, nil
-	case "degree":
-		return Degree, nil
-	case "hub":
-		return Hub, nil
-	case "rcm":
-		return RCM, nil
+func init() {
+	if len(Names) != len(registry) {
+		panic("order: Names and registry drifted")
 	}
-	return nil, fmt.Errorf("order: unknown strategy %q (have %v)", name, Names)
+	for _, n := range Names {
+		if _, ok := registry[n]; !ok {
+			panic("order: strategy " + n + " listed in Names but not registered")
+		}
+	}
 }
+
+// registry backs ByName. "none" maps to nil on purpose: callers pass the
+// result straight to property.ViewOpts.Order, where nil selects the
+// identity without a permutation pass.
+var registry = map[string]func(n int, off, nbr []int32) []int32{
+	"none":    nil,
+	"degree":  Degree,
+	"hub":     Hub,
+	"rcm":     RCM,
+	"cluster": Cluster,
+}
+
+// ByName maps a strategy name to its function. Unknown names return an
+// error that lists every registered strategy, so flag typos on the CLIs
+// surface the valid vocabulary instead of a bare failure.
+func ByName(name string) (func(n int, off, nbr []int32) []int32, error) {
+	if name == "" {
+		return nil, nil
+	}
+	if fn, ok := registry[name]; ok {
+		return fn, nil
+	}
+	return nil, fmt.Errorf("order: unknown strategy %q (valid strategies: %s)", name, strings.Join(Names, ", "))
+}
+
+// FlagUsage renders the strategy vocabulary for CLI -order usage strings,
+// derived from Names so flag help can never drift from the registry.
+func FlagUsage() string { return strings.Join(Names, "|") }
 
 // None returns the identity permutation.
 func None(n int, off, nbr []int32) []int32 {
@@ -111,6 +143,29 @@ func Hub(n int, off, nbr []int32) []int32 {
 // (degree, index) order; the concatenated visit order is reversed at the
 // end. The result is deterministic for a given CSR.
 func RCM(n int, off, nbr []int32) []int32 {
+	perm := cuthillMcKee(n, off, nbr)
+	for i, j := 0, len(perm)-1; i < j; i, j = i+1, j-1 {
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
+}
+
+// Cluster returns the plain Cuthill-McKee visit order — RCM without the
+// final reversal. Unlike RCM (whose reversal interleaves the tail of one
+// component's BFS with the head of the next for bandwidth reasons), the
+// raw visit order keeps every component, and every BFS expansion ring
+// within it, on one contiguous index run. That is the property the
+// partition layer wants: greedy contiguous chunking of a cluster-ordered
+// view produces connected subgraphs whose cut edges are only the BFS
+// frontier straddling a chunk border.
+func Cluster(n int, off, nbr []int32) []int32 {
+	return cuthillMcKee(n, off, nbr)
+}
+
+// cuthillMcKee is the shared BFS walk behind RCM and Cluster: components
+// seeded in ascending (degree, index) order, neighbors enqueued in
+// ascending (degree, index) order, visit order returned unreversed.
+func cuthillMcKee(n int, off, nbr []int32) []int32 {
 	deg := func(i int32) int32 { return off[i+1] - off[i] }
 	seeds := make([]int32, n)
 	for i := range seeds {
@@ -152,9 +207,6 @@ func RCM(n int, off, nbr []int32) []int32 {
 				}
 			}
 		}
-	}
-	for i, j := 0, len(perm)-1; i < j; i, j = i+1, j-1 {
-		perm[i], perm[j] = perm[j], perm[i]
 	}
 	return perm
 }

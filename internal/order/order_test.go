@@ -3,6 +3,7 @@ package order
 import (
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 )
 
@@ -77,8 +78,16 @@ func TestAllStrategiesProduceBijections(t *testing.T) {
 }
 
 func TestByNameUnknown(t *testing.T) {
-	if _, err := ByName("bogus"); err == nil {
+	_, err := ByName("bogus")
+	if err == nil {
 		t.Fatal("expected error for unknown strategy")
+	}
+	// The error must teach the valid vocabulary (every registered name),
+	// not just reject — the CLIs surface it verbatim on flag typos.
+	for _, name := range Names {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("ByName error %q does not list strategy %q", err, name)
+		}
 	}
 	if fn, err := ByName(""); err != nil || fn != nil {
 		t.Fatalf("empty name should be the nil identity, got fn!=nil=%v, err=%v", fn != nil, err)
@@ -162,6 +171,65 @@ func TestRCMCoversDisconnectedComponents(t *testing.T) {
 	nbr := []int32{1, 0, 3, 2}
 	perm := RCM(5, off, nbr)
 	checkBijection(t, "rcm", 5, perm)
+}
+
+// TestClusterComponentContiguity pins the property the partition layer
+// relies on: under the cluster ordering every connected component
+// occupies one contiguous run of new indices, so contiguous chunking
+// cannot split more components than it has cut points.
+func TestClusterComponentContiguity(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		n := 120
+		off, nbr := randomCSR(t, n, seed)
+		perm := Cluster(n, off, nbr)
+		checkBijection(t, "cluster", n, perm)
+		// Component labels via union-find-free BFS.
+		comp := make([]int32, n)
+		for i := range comp {
+			comp[i] = -1
+		}
+		next := int32(0)
+		for s := 0; s < n; s++ {
+			if comp[s] >= 0 {
+				continue
+			}
+			comp[s] = next
+			queue := []int32{int32(s)}
+			for len(queue) > 0 {
+				u := queue[0]
+				queue = queue[1:]
+				for _, v := range nbr[off[u]:off[u+1]] {
+					if comp[v] < 0 {
+						comp[v] = next
+						queue = append(queue, v)
+					}
+				}
+			}
+			next++
+		}
+		seen := make(map[int32]bool)
+		last := int32(-1)
+		for _, o := range perm {
+			c := comp[o]
+			if c != last {
+				if seen[c] {
+					t.Fatalf("seed %d: component %d split across non-contiguous runs", seed, c)
+				}
+				seen[c] = true
+				last = c
+			}
+		}
+	}
+}
+
+func TestClusterIsReversedRCM(t *testing.T) {
+	off, nbr := randomCSR(t, 90, 29)
+	rcm, cl := RCM(90, off, nbr), Cluster(90, off, nbr)
+	for i := range cl {
+		if cl[i] != rcm[len(rcm)-1-i] {
+			t.Fatalf("cluster is not the unreversed RCM walk at %d", i)
+		}
+	}
 }
 
 func TestDeterminism(t *testing.T) {

@@ -1,0 +1,197 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randCSR builds a random directed CSR over n vertices plus its reverse
+// arrays, the same inputs property.View hands to New.
+func randCSR(r *rand.Rand, n, m int) (off, nbr, inOff, inNbr []int32) {
+	adj := make([][]int32, n)
+	for i := 0; i < m; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		adj[u] = append(adj[u], int32(v))
+	}
+	off = make([]int32, n+1)
+	for u := 0; u < n; u++ {
+		off[u+1] = off[u] + int32(len(adj[u]))
+	}
+	nbr = make([]int32, 0, m)
+	for u := 0; u < n; u++ {
+		nbr = append(nbr, adj[u]...)
+	}
+	inOff = make([]int32, n+1)
+	for _, v := range nbr {
+		inOff[v+1]++
+	}
+	for i := 0; i < n; i++ {
+		inOff[i+1] += inOff[i]
+	}
+	inNbr = make([]int32, len(nbr))
+	fill := make([]int32, n)
+	for u := 0; u < n; u++ {
+		for k := off[u]; k < off[u+1]; k++ {
+			v := nbr[k]
+			inNbr[inOff[v]+fill[v]] = int32(u)
+			fill[v]++
+		}
+	}
+	return off, nbr, inOff, inNbr
+}
+
+// TestPlanDisjointCover pins the first partitioner invariant: for every
+// mode and k, the ranges are a disjoint cover of [0,n) and Owner agrees
+// with Bounds everywhere.
+func TestPlanDisjointCover(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(300)
+		m := r.Intn(6 * n)
+		off, nbr, inOff, inNbr := randCSR(r, n, m)
+		for _, mode := range []Mode{EdgeBalanced, VertexBalanced} {
+			for _, k := range []int{1, 2, 3, 7, n, n + 5} {
+				p := New(n, off, nbr, inOff, inNbr, k, mode)
+				if p.K < 1 || p.K > n {
+					t.Fatalf("n=%d k=%d mode=%v: got K=%d", n, k, mode, p.K)
+				}
+				if len(p.Bounds) != p.K+1 || p.Bounds[0] != 0 || p.Bounds[p.K] != int32(n) {
+					t.Fatalf("n=%d k=%d mode=%v: bounds %v do not cover [0,%d)", n, k, mode, p.Bounds, n)
+				}
+				for q := 0; q < p.K; q++ {
+					if p.Bounds[q] >= p.Bounds[q+1] {
+						t.Fatalf("n=%d k=%d mode=%v: empty or inverted partition %d: %v", n, k, mode, q, p.Bounds)
+					}
+					for v := p.Bounds[q]; v < p.Bounds[q+1]; v++ {
+						if p.Owner[v] != int32(q) {
+							t.Fatalf("Owner[%d]=%d, want %d", v, p.Owner[v], q)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEdgeBalanceTolerance pins the greedy chunker's imbalance bound:
+// every partition's edge count stays within one maximum vertex degree of
+// the |E|/k target (the split point can overshoot the ideal boundary by
+// at most the degree of the vertex it lands on), except for partitions
+// the non-empty-range clamp squeezed to a single vertex.
+func TestEdgeBalanceTolerance(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 50 + r.Intn(300)
+		m := n + r.Intn(8*n)
+		off, nbr, inOff, inNbr := randCSR(r, n, m)
+		maxDeg := int64(0)
+		for u := 0; u < n; u++ {
+			if d := int64(off[u+1] - off[u]); d > maxDeg {
+				maxDeg = d
+			}
+		}
+		for _, k := range []int{2, 3, 5, 8} {
+			p := New(n, off, nbr, inOff, inNbr, k, EdgeBalanced)
+			target := int64(off[n])/int64(p.K) + 1
+			for q := 0; q < p.K; q++ {
+				if p.Len(q) == 1 {
+					continue // clamped to keep the range non-empty
+				}
+				if p.Edges[q] > target+maxDeg {
+					t.Fatalf("n=%d m=%d k=%d: partition %d holds %d edges, tolerance %d (target %d + maxdeg %d)",
+						n, m, k, q, p.Edges[q], target+maxDeg, target, maxDeg)
+				}
+			}
+		}
+	}
+}
+
+// TestBoundaryExact pins the boundary-set invariant: Boundary[v] holds
+// exactly when v has an out- or in-edge whose other endpoint lives in a
+// different partition.
+func TestBoundaryExact(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(200)
+		m := r.Intn(5 * n)
+		off, nbr, inOff, inNbr := randCSR(r, n, m)
+		for _, mode := range []Mode{EdgeBalanced, VertexBalanced} {
+			for _, k := range []int{1, 2, 4, 9} {
+				p := New(n, off, nbr, inOff, inNbr, k, mode)
+				cut := int64(0)
+				for u := int32(0); u < int32(n); u++ {
+					want := false
+					for _, v := range nbr[off[u]:off[u+1]] {
+						if p.Owner[v] != p.Owner[u] {
+							want = true
+							cut++
+						}
+					}
+					for _, v := range inNbr[inOff[u]:inOff[u+1]] {
+						if p.Owner[v] != p.Owner[u] {
+							want = true
+						}
+					}
+					if p.Boundary[u] != want {
+						t.Fatalf("n=%d k=%d mode=%v: Boundary[%d]=%v, want %v", n, k, mode, u, p.Boundary[u], want)
+					}
+				}
+				if p.CutEdges != cut {
+					t.Fatalf("n=%d k=%d mode=%v: CutEdges=%d, want %d", n, k, mode, p.CutEdges, cut)
+				}
+				if k == 1 && (p.CutEdges != 0 || p.BoundaryCount() != 0) {
+					t.Fatalf("k=1 must have no cut: cut=%d boundary=%d", p.CutEdges, p.BoundaryCount())
+				}
+			}
+		}
+	}
+}
+
+// TestPerPartitionEdgeAccounting cross-checks Edges/LocalEdges/CutEdges.
+func TestPerPartitionEdgeAccounting(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	n := 120
+	off, nbr, inOff, inNbr := randCSR(r, n, 700)
+	p := New(n, off, nbr, inOff, inNbr, 5, EdgeBalanced)
+	var edges, local int64
+	for q := 0; q < p.K; q++ {
+		edges += p.Edges[q]
+		local += p.LocalEdges[q]
+	}
+	if edges != int64(off[n]) {
+		t.Fatalf("sum Edges = %d, want %d", edges, off[n])
+	}
+	if edges-local != p.CutEdges {
+		t.Fatalf("edges-local = %d, want CutEdges %d", edges-local, p.CutEdges)
+	}
+	if p.Imbalance() < 1 {
+		t.Fatalf("imbalance %v < 1", p.Imbalance())
+	}
+}
+
+func TestModeByName(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Mode
+		ok   bool
+	}{{"", EdgeBalanced, true}, {"edge", EdgeBalanced, true}, {"vertex", VertexBalanced, true}, {"metis", 0, false}} {
+		m, err := ModeByName(tc.in)
+		if (err == nil) != tc.ok || (tc.ok && m != tc.want) {
+			t.Fatalf("ModeByName(%q) = %v, %v", tc.in, m, err)
+		}
+	}
+	if EdgeBalanced.String() != "edge" || VertexBalanced.String() != "vertex" {
+		t.Fatal("mode names drifted")
+	}
+}
+
+func TestEmptyAndTiny(t *testing.T) {
+	p := New(0, []int32{0}, nil, []int32{0}, nil, 4, EdgeBalanced)
+	if p.K != 1 || p.Bounds[0] != 0 || p.Bounds[1] != 0 {
+		t.Fatalf("empty graph plan: %+v", p)
+	}
+	p = New(1, []int32{0, 0}, nil, []int32{0, 0}, nil, 8, VertexBalanced)
+	if p.K != 1 || p.Len(0) != 1 {
+		t.Fatalf("single-vertex plan: %+v", p)
+	}
+}

@@ -17,12 +17,42 @@ package property
 // per-ordering MPKI, keeping the parity graphs byte-identical.
 func Relayout(g *Graph, vw *View) {
 	for _, v := range vw.Verts {
-		v.addr = g.arena.Alloc(vertexRecordBytes+uint64(len(v.props))*propSlotBytes, 64)
-		if v.edgeCap > 0 {
-			v.edgeAddr = g.arena.Alloc(uint64(v.edgeCap)*g.edgeRec, 64)
+		relayoutVertex(g, v)
+	}
+}
+
+// RelayoutPartitioned reassigns simulated addresses like Relayout, but
+// starts each partition's region on a regionBytes boundary (a power of
+// two; pass the NDP model's vault size). With the view's partition plan
+// mapped onto vault-aligned regions, every partition's vertex records,
+// property blocks and edge chunks share that partition's vault, so an
+// ndp.Profile consuming the run's event stream (typically fanned out via
+// mem.Multi alongside the host model) observes partition-local work as
+// vault-local DRAM access and boundary exchange as the cross-vault
+// traffic — the per-partition placement the HMC-style proposals assume.
+// The partition layout is metadata-only, same caveats as Relayout; views
+// without a partition plan fall back to the plain view-order layout.
+func RelayoutPartitioned(g *Graph, vw *View, regionBytes uint64) {
+	plan := vw.Partitions()
+	if plan == nil || regionBytes == 0 {
+		Relayout(g, vw)
+		return
+	}
+	for q := 0; q < plan.K; q++ {
+		g.arena.Alloc(0, regionBytes)
+		lo, hi := plan.Range(q)
+		for _, v := range vw.Verts[lo:hi] {
+			relayoutVertex(g, v)
 		}
-		if v.inCap > 0 {
-			v.inAddr = g.arena.Alloc(uint64(v.inCap)*inRecordBytes, 64)
-		}
+	}
+}
+
+func relayoutVertex(g *Graph, v *Vertex) {
+	v.addr = g.arena.Alloc(vertexRecordBytes+uint64(len(v.props))*propSlotBytes, 64)
+	if v.edgeCap > 0 {
+		v.edgeAddr = g.arena.Alloc(uint64(v.edgeCap)*g.edgeRec, 64)
+	}
+	if v.inCap > 0 {
+		v.inAddr = g.arena.Alloc(uint64(v.inCap)*inRecordBytes, 64)
 	}
 }

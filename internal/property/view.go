@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"github.com/graphbig/graphbig-go/internal/concurrent"
+	"github.com/graphbig/graphbig-go/internal/partition"
 )
 
 // View is a stable snapshot of the live vertices, giving algorithms dense
@@ -47,6 +48,12 @@ type View struct {
 	// ascending dense-index order.
 	InOff []int32
 	InNbr []int32
+
+	// parts is the partition plan recorded by ViewOpts.Partitions (nil
+	// when partitioned execution was not requested). It is computed over
+	// the final index space — after any ordering permutation — so each
+	// partition's vertices are contiguous.
+	parts *partition.Plan
 }
 
 // SysIndexField is the schema field that carries a vertex's View index.
@@ -68,6 +75,15 @@ type ViewOpts struct {
 	// Order, when non-nil, is composed into the dense index space after
 	// resolution. nil keeps the ID-sorted baseline numbering.
 	Order OrderFunc
+	// Partitions, when > 0, records a k-way contiguous partition plan
+	// (internal/partition) in the view, computed over the final — i.e.
+	// post-Order — index space. The plan is what switches the engine
+	// into partitioned subgraph-centric execution (DESIGN.md §10);
+	// adjacency arrays and per-vertex results are unaffected.
+	Partitions int
+	// PartitionMode selects the balance target when Partitions > 0
+	// (edge-balanced by default).
+	PartitionMode partition.Mode
 }
 
 // View snapshots the graph and index-resolves its adjacency with default
@@ -94,6 +110,10 @@ func (g *Graph) ViewWith(opt ViewOpts) *View {
 	vw.resolve(g.directed, workers)
 	if opt.Order != nil {
 		vw.applyOrder(opt.Order(len(vs), vw.NbrOff, vw.Nbr), g.directed, workers)
+	}
+	if opt.Partitions > 0 {
+		vw.parts = partition.New(len(vs), vw.NbrOff, vw.Nbr, vw.InOff, vw.InNbr,
+			opt.Partitions, opt.PartitionMode)
 	}
 	g.publishIndex(vw, idxSlot, workers)
 	return vw
@@ -566,3 +586,8 @@ func (vw *View) InAdj(i int32) []int32 { return vw.InNbr[vw.InOff[i]:vw.InOff[i+
 
 // EdgeTotal returns the number of resolved directed edge records.
 func (vw *View) EdgeTotal() int64 { return int64(len(vw.Nbr)) }
+
+// Partitions returns the partition plan recorded at construction, or nil
+// when the view was built without ViewOpts.Partitions. A non-nil plan is
+// the signal that selects the engine's partitioned traversal mode.
+func (vw *View) Partitions() *partition.Plan { return vw.parts }

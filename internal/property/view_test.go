@@ -291,3 +291,78 @@ func TestRelayoutPreservesContent(t *testing.T) {
 		}
 	}
 }
+
+func TestViewWithPartitions(t *testing.T) {
+	g := buildViewTestGraph(t, 300, 11, false)
+	if g.View().Partitions() != nil {
+		t.Fatal("default view should carry no partition plan")
+	}
+	for _, k := range []int{1, 3, 7} {
+		vw := g.ViewWith(ViewOpts{Partitions: k, Workers: 4})
+		plan := vw.Partitions()
+		if plan == nil {
+			t.Fatalf("k=%d: no plan recorded", k)
+		}
+		if plan.K != k {
+			t.Fatalf("k=%d: plan has %d partitions", k, plan.K)
+		}
+		// The plan covers the view's index space and owns every vertex.
+		if got := int(plan.Bounds[len(plan.Bounds)-1]); got != vw.Len() {
+			t.Fatalf("k=%d: plan covers %d vertices, view has %d", k, got, vw.Len())
+		}
+		// The plan was built over the post-order CSR: boundary vertices
+		// must be exactly those with a cross-partition out- or in-edge.
+		for v := int32(0); int(v) < vw.Len(); v++ {
+			cross := false
+			for _, u := range vw.Adj(v) {
+				if plan.Of(u) != plan.Of(v) {
+					cross = true
+				}
+			}
+			for _, u := range vw.InAdj(v) {
+				if plan.Of(u) != plan.Of(v) {
+					cross = true
+				}
+			}
+			if plan.Boundary[v] != cross {
+				t.Fatalf("k=%d: boundary[%d] = %v, want %v", k, v, plan.Boundary[v], cross)
+			}
+		}
+	}
+}
+
+func TestRelayoutPartitionedVaultAlignment(t *testing.T) {
+	g := buildViewTestGraph(t, 200, 13, false)
+	vw := g.ViewWith(ViewOpts{Partitions: 4})
+	plan := vw.Partitions()
+	const region = 1 << 20
+	RelayoutPartitioned(g, vw, region)
+	// Every partition's vertices land in a region that starts on a
+	// region boundary and strictly after the previous partition's.
+	var lastRegion uint64
+	for q := 0; q < plan.K; q++ {
+		lo, hi := plan.Range(q)
+		if lo == hi {
+			continue
+		}
+		first := vw.Verts[lo].addr
+		reg := first / region
+		if q > 0 && reg <= lastRegion {
+			t.Fatalf("partition %d region %d not after previous %d", q, reg, lastRegion)
+		}
+		for _, v := range vw.Verts[lo:hi] {
+			if v.addr/region != reg {
+				t.Fatalf("partition %d: vertex record at %#x escapes region %d", q, v.addr, reg)
+			}
+		}
+		lastRegion = reg
+	}
+	// Plan-less views fall back to the contiguous relayout.
+	flat := g.View()
+	RelayoutPartitioned(g, flat, region)
+	for i := 1; i < flat.Len(); i++ {
+		if flat.Verts[i].addr <= flat.Verts[i-1].addr {
+			t.Fatalf("fallback relayout order broken at %d", i)
+		}
+	}
+}

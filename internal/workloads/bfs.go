@@ -88,10 +88,14 @@ func BFS(g *property.Graph, opt Options) (*Result, error) {
 			sum += float64(dist[i])
 		}
 	}
-	return &Result{
+	res := &Result{
 		Workload: "BFS",
 		Visited:  st.Reached,
 		Checksum: sum,
 		Stats:    map[string]float64{"depth": float64(st.Depth)},
-	}, nil
+	}
+	if t == nil {
+		partitionStats(vw, res, st.Supersteps, st.BoundarySent)
+	}
+	return res, nil
 }

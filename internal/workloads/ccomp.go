@@ -42,6 +42,8 @@ func CComp(g *property.Graph, opt Options) (*Result, error) {
 	comps := 0
 	var touched int64
 	var largest int64
+	supersteps := 0
+	var boundarySent int64
 	for s := 0; s < n; s++ {
 		inst(t, 2)
 		seen := dist[s] >= 0
@@ -85,13 +87,15 @@ func CComp(g *property.Graph, opt Options) (*Result, error) {
 		if st.Reached > largest {
 			largest = st.Reached
 		}
+		supersteps += st.Supersteps
+		boundarySent += st.BoundarySent
 	}
 	if t == nil {
 		eng.ForVertices(256, func(i int) {
 			vw.Verts[i].SetPropRaw(lbl, float64(labels[i]))
 		})
 	}
-	return &Result{
+	res := &Result{
 		Workload: "CComp",
 		Visited:  touched,
 		Checksum: float64(comps),
@@ -99,5 +103,9 @@ func CComp(g *property.Graph, opt Options) (*Result, error) {
 			"components": float64(comps),
 			"largest":    float64(largest),
 		},
-	}, nil
+	}
+	if t == nil {
+		partitionStats(vw, res, supersteps, boundarySent)
+	}
+	return res, nil
 }

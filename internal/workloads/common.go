@@ -23,6 +23,7 @@ import (
 	"errors"
 
 	"github.com/graphbig/graphbig-go/internal/mem"
+	"github.com/graphbig/graphbig-go/internal/partition"
 	"github.com/graphbig/graphbig-go/internal/property"
 )
 
@@ -45,6 +46,18 @@ type Options struct {
 	// Harness code builds the view before installing the tracker so that
 	// snapshot setup is not attributed to the measured region.
 	View *property.View
+	// Partitions requests k-way partitioned (subgraph-centric) execution
+	// for the engine-backed traversal workloads: when > 0 and no View is
+	// supplied, the view is built with a k-way partition plan, and the
+	// engine runs each partition's kernel locally, exchanging boundary
+	// frontiers between supersteps. Results are identical to flat
+	// execution; instrumented runs ignore it (the parity event streams
+	// stay single-threaded and flat). Ignored when View is supplied —
+	// pass a partitioned view instead.
+	Partitions int
+	// PartitionMode picks the balance target (edge- or vertex-balanced
+	// contiguous chunking) for the plan built when Partitions > 0.
+	PartitionMode partition.Mode
 }
 
 // Result is the outcome of one workload run.
@@ -65,9 +78,32 @@ var ErrEmptyGraph = errors.New("workloads: empty graph")
 
 func view(g *property.Graph, opt *Options) *property.View {
 	if opt.View == nil {
-		opt.View = g.View()
+		if opt.Partitions > 0 {
+			opt.View = g.ViewWith(property.ViewOpts{
+				Partitions:    opt.Partitions,
+				PartitionMode: opt.PartitionMode,
+			})
+		} else {
+			opt.View = g.View()
+		}
 	}
 	return opt.View
+}
+
+// partitionStats folds the partition plan's shape and the run's boundary
+// traffic into a Result's stats. Workloads call it on native partitioned
+// runs only; with no plan on the view it is a no-op, so flat Results keep
+// their original key set.
+func partitionStats(vw *property.View, r *Result, supersteps int, boundarySent int64) {
+	plan := vw.Partitions()
+	if plan == nil {
+		return
+	}
+	r.Stats["partitions"] = float64(plan.K)
+	r.Stats["supersteps"] = float64(supersteps)
+	r.Stats["boundary_sent"] = float64(boundarySent)
+	r.Stats["cut_edges"] = float64(plan.CutEdges)
+	r.Stats["boundary_verts"] = float64(plan.BoundaryCount())
 }
 
 // workers resolves effective parallelism: instrumented runs are pinned to

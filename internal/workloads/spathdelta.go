@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"github.com/graphbig/graphbig-go/internal/concurrent"
+	"github.com/graphbig/graphbig-go/internal/engine"
 	"github.com/graphbig/graphbig-go/internal/property"
 )
 
@@ -64,6 +65,41 @@ func SPathDelta(g *property.Graph, opt Options) (*Result, error) {
 	dist := make([]float64, n)
 	for i := range dist {
 		dist[i] = inf
+	}
+
+	// Partitioned (subgraph-centric) path: each partition runs the
+	// delta-stepping kernel over its owned subgraph with single-writer
+	// distance slots (no mutex), exchanging cut-edge relaxations between
+	// supersteps. Distances are bitwise identical to the flat kernel —
+	// both converge to the min over the same float path sums. MaxIters
+	// bounds a global bucket scan that has no partitioned equivalent, so
+	// bounded runs keep the flat kernel.
+	if plan := vw.Partitions(); plan != nil && !tracked && opt.MaxIters <= 0 {
+		dist[srcIdx] = 0
+		g.SetProp(vw.Verts[srcIdx], distF, 0)
+		eng := engine.New(g, vw, w)
+		pst := eng.PartitionedSSSP(dist, delta, srcIdx)
+		settled := int64(0)
+		sum := 0.0
+		for i := range dist {
+			if !math.IsInf(dist[i], 1) {
+				settled++
+				sum += dist[i]
+				vw.Verts[i].SetPropRaw(distF, dist[i])
+			}
+		}
+		res := &Result{
+			Workload: "SPathDelta",
+			Visited:  settled,
+			Checksum: sum,
+			Stats: map[string]float64{
+				"delta":   delta,
+				"buckets": float64(pst.Buckets),
+				"relaxed": float64(pst.Relaxed),
+			},
+		}
+		partitionStats(vw, res, pst.Supersteps, pst.BoundarySent)
+		return res, nil
 	}
 	var mu sync.Mutex
 	var buckets [][]int32 // dense bucket array indexed by floor(dist/delta)
