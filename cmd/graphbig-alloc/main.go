@@ -1,0 +1,237 @@
+// Command graphbig-alloc is the ground truth behind the escape
+// analyzer: it compiles the hot packages with the compiler's escape
+// analysis diagnostics enabled (-m=2), counts the heap-escape decisions
+// ("moved to heap: x", "... escapes to heap") per file, and ratchets
+// the counts against results/alloc_baseline.json.
+//
+// The escape analyzer reasons about which allocation idioms should stay
+// on the stack; this tool measures what the compiler actually decided.
+// The two disagree at the margins (the compiler's escape analysis is
+// flow-sensitive over its own IR, the analyzer is syntactic over hot
+// loops), so the contract is a ratchet, not equality: a change that
+// grows a file's heap-escape count fails CI until the baseline is
+// deliberately rewritten with -write. Steady-state traversal code paying
+// a new per-call allocation is exactly the regression class the BENCH
+// records cannot localize — the ratchet catches it at the file level.
+//
+// Only the final decision lines are counted. With -m=2 the compiler
+// prints, for each escaping value, an explanation header ("x escapes to
+// heap:" with a trailing colon) followed by indented flow lines and then
+// the decision itself ("moved to heap: x" or "... escapes to heap" with
+// no trailing colon); counting headers too would double-count every
+// escape that the compiler explains.
+//
+// A fresh GOCACHE is used for every run: cached package builds skip the
+// compiler entirely and report zero escapes for untouched files, which
+// would let regressions hide behind the cache.
+//
+// Usage:
+//
+//	go run ./cmd/graphbig-alloc           # compare against the baseline
+//	go run ./cmd/graphbig-alloc -write   # rewrite the baseline
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+const module = "github.com/graphbig/graphbig-go"
+
+// hotPkgs is the allocation-sensitive core: the engine and its
+// concurrency scaffolding, the workload kernels, and the ordering and
+// partitioning layers whose scratch arrays must stay amortized.
+var hotPkgs = []string{
+	"internal/engine",
+	"internal/concurrent",
+	"internal/workloads",
+	"internal/order",
+	"internal/partition",
+}
+
+type baseline struct {
+	Note string `json:"note,omitempty"`
+	// History records notable before/after movements of the ratchet;
+	// -write preserves it.
+	History []string       `json:"history,omitempty"`
+	Files   map[string]int `json:"files"`
+}
+
+// decisionRE matches a final escape decision. The non-greedy message
+// match plus the anchored end excludes the "escapes to heap:" headers
+// (trailing colon) and the indented "flow:" / "from ..." detail lines.
+var decisionRE = regexp.MustCompile(`^(.*\.go):\d+:\d+: (?:moved to heap: .+|.+ escapes to heap)$`)
+
+func main() {
+	write := flag.Bool("write", false, "rewrite the baseline with the measured counts")
+	path := flag.String("baseline", "results/alloc_baseline.json", "baseline file")
+	flag.Parse()
+
+	files, err := measure()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphbig-alloc:", err)
+		os.Exit(2)
+	}
+	if *write {
+		if err := writeBaseline(*path, files); err != nil {
+			fmt.Fprintln(os.Stderr, "graphbig-alloc:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("graphbig-alloc: wrote %s (%d files, %d heap escapes)\n",
+			*path, len(files), total(files))
+		return
+	}
+	base, err := readBaseline(*path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphbig-alloc:", err)
+		os.Exit(2)
+	}
+	regressed, improved := diff(base.Files, files)
+	for _, line := range regressed {
+		fmt.Println(line)
+	}
+	for _, line := range improved {
+		fmt.Println(line)
+	}
+	fmt.Printf("graphbig-alloc: %d heap escapes across %d hot packages (baseline %d)\n",
+		total(files), len(hotPkgs), total(base.Files))
+	if len(regressed) > 0 {
+		fmt.Println("graphbig-alloc: allocation regression; keep the value on the stack or rerun with -write to accept")
+		os.Exit(1)
+	}
+	if len(improved) > 0 {
+		fmt.Println("graphbig-alloc: improvement — rerun with -write to ratchet the baseline down")
+	}
+}
+
+// measure compiles the hot packages under a throwaway GOCACHE and
+// returns heap-escape counts keyed by module-relative file path.
+func measure() (map[string]int, error) {
+	cache, err := os.MkdirTemp("", "graphbig-alloc-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(cache)
+
+	args := []string{"build"}
+	for _, p := range hotPkgs {
+		args = append(args, "-gcflags="+module+"/"+p+"=-m=2")
+	}
+	for _, p := range hotPkgs {
+		args = append(args, "./"+p)
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Env = append(os.Environ(), "GOCACHE="+cache)
+	out, err := cmd.CombinedOutput()
+	files := parseEscapes(string(out))
+	if err != nil && len(files) == 0 {
+		return nil, fmt.Errorf("go build failed: %v\n%s", err, out)
+	}
+	return files, nil
+}
+
+// parseEscapes extracts per-file heap-escape counts from -m=2 compiler
+// diagnostics, counting each decision line once (the compiler repeats a
+// position across its explanation header and flow lines).
+func parseEscapes(out string) map[string]int {
+	files := map[string]int{}
+	seen := map[string]bool{}
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		m := decisionRE.FindStringSubmatch(line)
+		if m == nil || seen[line] {
+			continue
+		}
+		seen[line] = true
+		files[relPath(m[1])]++
+	}
+	return files
+}
+
+// relPath normalizes a compiler-reported filename (absolute or
+// build-dir relative) to a module-relative, slash-separated path.
+func relPath(name string) string {
+	name = filepath.ToSlash(name)
+	for _, p := range hotPkgs {
+		if i := strings.Index(name, p+"/"); i >= 0 {
+			return name[i:]
+		}
+	}
+	return strings.TrimPrefix(name, "./")
+}
+
+func readBaseline(path string) (*baseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("%v (run with -write to create the baseline)", err)
+	}
+	var b baseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", path, err)
+	}
+	if b.Files == nil {
+		b.Files = map[string]int{}
+	}
+	return &b, nil
+}
+
+func writeBaseline(path string, files map[string]int) error {
+	b := baseline{
+		Note: "Heap-escape decisions per file under -gcflags=-m=2 (go build, hot packages). " +
+			"Ratcheted by cmd/graphbig-alloc in CI: growth fails, reductions should be written back.",
+		Files: files,
+	}
+	if prev, err := readBaseline(path); err == nil {
+		b.History = prev.History
+	}
+	raw, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// diff returns regression and improvement report lines comparing
+// measured counts to the baseline.
+func diff(base, got map[string]int) (regressed, improved []string) {
+	keys := map[string]bool{}
+	for f := range base {
+		keys[f] = true
+	}
+	for f := range got {
+		keys[f] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for f := range keys {
+		sorted = append(sorted, f)
+	}
+	sort.Strings(sorted)
+	for _, f := range sorted {
+		b, g := base[f], got[f]
+		switch {
+		case g > b:
+			regressed = append(regressed, fmt.Sprintf("REGRESSED %s: %d -> %d heap escapes", f, b, g))
+		case g < b:
+			improved = append(improved, fmt.Sprintf("improved  %s: %d -> %d heap escapes", f, b, g))
+		}
+	}
+	return regressed, improved
+}
+
+func total(files map[string]int) int {
+	n := 0
+	for _, c := range files {
+		n += c
+	}
+	return n
+}

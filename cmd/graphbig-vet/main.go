@@ -6,10 +6,14 @@
 //
 // The suite has two layers: per-package analyzers (determinism,
 // trackedprim, hotloop, atomichygiene) and module analyzers (escape,
-// lockset, purity, boundscheck, overflowconv, divmod) that build a call
-// graph over every loaded package and reason across function and package
-// boundaries — the last three on top of a shared value-range abstract
-// interpretation (DESIGN.md §7). With -json, findings are emitted as a
+// lockset, purity, boundscheck, overflowconv, divmod, spawnsite,
+// wgbalance, phasediscipline, sharedwrite) that build a call graph over
+// every loaded package and reason across function and package
+// boundaries — boundscheck, overflowconv, and divmod on top of a shared
+// value-range abstract interpretation, and the last four on the
+// goroutine-topology layer (spawn sites, WaitGroup/channel
+// happens-before edges, superstep phase tokens, write-disjointness
+// proofs) (DESIGN.md §7). With -json, findings are emitted as a
 // JSON array of {file,line,col,analyzer,message} records instead of
 // text — the format CI uploads as annotations. With -debug=ranges, the
 // range-based analyzers append the inferred interval to each finding.
@@ -33,8 +37,12 @@ import (
 	"github.com/graphbig/graphbig-go/internal/analysis/hotloop"
 	"github.com/graphbig/graphbig-go/internal/analysis/lockset"
 	"github.com/graphbig/graphbig-go/internal/analysis/overflowconv"
+	"github.com/graphbig/graphbig-go/internal/analysis/phasediscipline"
 	"github.com/graphbig/graphbig-go/internal/analysis/purity"
+	"github.com/graphbig/graphbig-go/internal/analysis/sharedwrite"
+	"github.com/graphbig/graphbig-go/internal/analysis/spawnsite"
 	"github.com/graphbig/graphbig-go/internal/analysis/trackedprim"
+	"github.com/graphbig/graphbig-go/internal/analysis/wgbalance"
 )
 
 // Analyzers returns the full registered suite, in reporting order:
@@ -51,6 +59,10 @@ func Analyzers() []*analysis.Analyzer {
 		boundscheck.Analyzer,
 		overflowconv.Analyzer,
 		divmod.Analyzer,
+		spawnsite.Analyzer,
+		wgbalance.Analyzer,
+		phasediscipline.Analyzer,
+		sharedwrite.Analyzer,
 	}
 }
 

@@ -12,13 +12,14 @@ import (
 // multichecker with documentation and a runner (per-package or module).
 func TestAnalyzersRegistered(t *testing.T) {
 	as := Analyzers()
-	want := []string{"determinism", "trackedprim", "hotloop", "atomichygiene", "escape", "lockset", "purity", "boundscheck", "overflowconv", "divmod"}
+	want := []string{"determinism", "trackedprim", "hotloop", "atomichygiene", "escape", "lockset", "purity", "boundscheck", "overflowconv", "divmod", "spawnsite", "wgbalance", "phasediscipline", "sharedwrite"}
 	if len(as) != len(want) {
 		t.Fatalf("Analyzers() = %d analyzers, want %d", len(as), len(want))
 	}
 	module := map[string]bool{
 		"escape": true, "lockset": true, "purity": true,
 		"boundscheck": true, "overflowconv": true, "divmod": true,
+		"spawnsite": true, "wgbalance": true, "phasediscipline": true, "sharedwrite": true,
 	}
 	for i, a := range as {
 		if a.Name != want[i] {

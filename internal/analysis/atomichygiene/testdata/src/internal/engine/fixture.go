@@ -4,7 +4,10 @@
 // rules.
 package engine
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // state carries per-superstep exchange counters.
 type state struct {
@@ -44,3 +47,34 @@ func (e *epochs) bump() int64 {
 	e.stamp++
 	return e.stamp
 }
+
+// fan models a spawn-in-loop worker pool: relaxed is bumped atomically
+// by every loop-spawned goroutine but read plainly by the driver before
+// Wait — mixed memory models across a spawn boundary must still be
+// flagged. done uses the wrapper type consistently and stays quiet even
+// though the WaitGroup is misused (Add inside the goroutine — that is
+// wgbalance's finding, not this analyzer's).
+type fan struct {
+	relaxed int64
+	done    atomic.Int64
+	wg      sync.WaitGroup
+}
+
+func (f *fan) spawn(k int) {
+	for i := 0; i < k; i++ {
+		go func() {
+			f.wg.Add(1)
+			defer f.wg.Done()
+			atomic.AddInt64(&f.relaxed, 1)
+			f.done.Add(1)
+		}()
+	}
+}
+
+// Positive: progress polls the loop-spawned workers' counter plainly.
+func (f *fan) progress() int64 {
+	return f.relaxed // want "field relaxed is accessed with sync/atomic"
+}
+
+// Negative: wrapper-typed reads need no annotation.
+func (f *fan) finished() int64 { return f.done.Load() }

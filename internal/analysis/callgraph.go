@@ -56,7 +56,11 @@ type CGEdge struct {
 	// function-value references.
 	Site ast.Node
 	// Kind classifies resolution: "static", "interface" (CHA-resolved),
-	// or "ref" (function referenced as a value).
+	// "ref" (function referenced as a value), "go" (callee spawned as a
+	// goroutine via a go statement), or "defer" (callee invoked through a
+	// defer statement). Spawn edges matter to the concurrency analyzers:
+	// a "go" callee runs on a fresh goroutine, so it inherits neither the
+	// caller's locks (lockset) nor its sequential happens-before position.
 	Kind string
 }
 
@@ -156,11 +160,19 @@ func (b *cgBuilder) collectTypes() {
 func (b *cgBuilder) walkBody(node *CGNode, pkg *Package, body ast.Node) {
 	info := pkg.TypesInfo
 	// First pass: the idents standing in callee position, so the second
-	// pass can tell a call from a function-value reference.
+	// pass can tell a call from a function-value reference — and the call
+	// expressions hanging off go/defer statements, so their edges carry
+	// the spawn kind instead of "static".
 	calleeIdent := map[*ast.Ident]bool{}
+	spawnKind := map[*ast.CallExpr]string{}
 	ast.Inspect(body, func(n ast.Node) bool {
-		if call, ok := n.(*ast.CallExpr); ok {
-			switch fun := ast.Unparen(call.Fun).(type) {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			spawnKind[n.Call] = "go"
+		case *ast.DeferStmt:
+			spawnKind[n.Call] = "defer"
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(n.Fun).(type) {
 			case *ast.Ident:
 				calleeIdent[fun] = true
 			case *ast.SelectorExpr:
@@ -176,10 +188,14 @@ func (b *cgBuilder) walkBody(node *CGNode, pkg *Package, body ast.Node) {
 				b.edge(node, fn, n, "ref")
 			}
 		case *ast.CallExpr:
+			kind := "static"
+			if k := spawnKind[n]; k != "" {
+				kind = k
+			}
 			switch fun := ast.Unparen(n.Fun).(type) {
 			case *ast.Ident:
 				if fn, ok := info.Uses[fun].(*types.Func); ok {
-					b.edge(node, fn, n, "static")
+					b.edge(node, fn, n, kind)
 				}
 			case *ast.SelectorExpr:
 				fn, _ := info.Uses[fun.Sel].(*types.Func)
@@ -192,7 +208,7 @@ func (b *cgBuilder) walkBody(node *CGNode, pkg *Package, body ast.Node) {
 						break
 					}
 				}
-				b.edge(node, fn, n, "static")
+				b.edge(node, fn, n, kind)
 			}
 		}
 		return true

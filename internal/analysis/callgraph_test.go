@@ -155,3 +155,109 @@ func c() {}
 		}
 	}
 }
+
+// TestCallGraphSpawnKinds: go statements and defer statements tag their
+// call edges so the concurrency analyzers can tell a spawn (callee runs
+// on a fresh goroutine) from a sequential call.
+func TestCallGraphSpawnKinds(t *testing.T) {
+	pkg := checkTestPkg(t, `package p
+
+type srv struct{}
+
+func (s *srv) pump()  {}
+func (s *srv) flush() {}
+
+func worker() {}
+func cleanup() {}
+
+func run(s *srv) {
+	go worker()      // spawned package function
+	go s.pump()      // spawned method (method-value syntax at the call)
+	defer cleanup()  // deferred package function
+	defer s.flush()  // deferred method
+	worker()         // and a plain sequential call of the same callee
+}
+`)
+	cg := BuildCallGraph([]*Package{pkg})
+	run := findNode(t, cg, "run")
+	for _, want := range []struct{ callee, kind string }{
+		{"worker", "go"},
+		{"pump", "go"},
+		{"cleanup", "defer"},
+		{"flush", "defer"},
+		{"worker", "static"},
+	} {
+		if !hasEdge(run, want.callee, want.kind) {
+			t.Errorf("missing %q edge run -> %s", want.kind, want.callee)
+		}
+	}
+	// The spawn edge must not leak onto the sequential call of pump's
+	// sibling: flush is only deferred, never static.
+	if hasEdge(run, "flush", "static") {
+		t.Error("deferred-only callee flush got a static edge")
+	}
+}
+
+// TestCallGraphDeferredClosure: a closure spawned or deferred is still
+// flattened into the enclosing declaration (its body's calls belong to
+// the spawner), and the closure's own callees keep static kinds.
+func TestCallGraphDeferredClosure(t *testing.T) {
+	pkg := checkTestPkg(t, `package p
+
+func logit() {}
+func step()  {}
+
+func orchestrate() {
+	defer func() { logit() }()
+	go func() { step() }()
+}
+`)
+	cg := BuildCallGraph([]*Package{pkg})
+	orch := findNode(t, cg, "orchestrate")
+	// Flattening: the literal bodies' calls are attributed to
+	// orchestrate, as plain static calls — the go/defer kind belongs to
+	// the literal's invocation, and calling a literal adds no edge.
+	if !hasEdge(orch, "logit", "static") {
+		t.Error("deferred closure's call not flattened into orchestrate")
+	}
+	if !hasEdge(orch, "step", "static") {
+		t.Error("spawned closure's call not flattened into orchestrate")
+	}
+	if hasEdge(orch, "logit", "defer") || hasEdge(orch, "step", "go") {
+		t.Error("closure-internal calls must not inherit the spawn kind")
+	}
+}
+
+// TestCallGraphMethodValueSpawn: `f := s.m; go f()` records the method
+// reference; the spawn-payload resolver (SpawnSites) recovers the callee.
+func TestCallGraphMethodValueSpawn(t *testing.T) {
+	pkg := checkTestPkg(t, `package p
+
+type srv struct{}
+
+func (s *srv) serve() {}
+
+func launch(s *srv) {
+	f := s.serve
+	go f()
+}
+`)
+	cg := BuildCallGraph([]*Package{pkg})
+	launch := findNode(t, cg, "launch")
+	if !hasEdge(launch, "serve", "ref") {
+		t.Error("method value s.serve not recorded as a ref edge")
+	}
+	var decl *ast.FuncDecl
+	for _, n := range cg.Declared() {
+		if n.Fn.Name() == "launch" {
+			decl = n.Decl
+		}
+	}
+	sites := SpawnSites(pkg.TypesInfo, decl)
+	if len(sites) != 1 {
+		t.Fatalf("SpawnSites found %d sites, want 1", len(sites))
+	}
+	if sites[0].Callee == nil || sites[0].Callee.Name() != "serve" {
+		t.Errorf("spawn payload = %v, want method serve", sites[0].Callee)
+	}
+}

@@ -1,0 +1,437 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Concurrency-structure helpers shared by the goroutine-topology
+// analyzers (spawnsite, wgbalance, phasediscipline, sharedwrite): spawn
+// sites with resolved payloads, the sync.WaitGroup / channel / mailbox
+// operation recognizers that define the module's happens-before edges,
+// and the set lattices their dataflow problems run on.
+//
+// The unit model matches lockset's: a function literal is its own
+// evaluation unit (its body is skipped when walking the enclosing
+// function), because a spawned closure runs on a different goroutine
+// than the code that wrote it.
+
+// SpawnSite is one go statement with its payload resolved as far as the
+// syntax allows.
+type SpawnSite struct {
+	Go   *ast.GoStmt
+	Call *ast.CallExpr
+	// Lit is the spawned function literal — either called directly
+	// (`go func(){...}()`) or through a local variable assigned exactly
+	// once (`f := func(){...}; go f()`). Nil when the payload is a
+	// declared function or unresolvable.
+	Lit *ast.FuncLit
+	// Callee is the declared function or method when the payload resolves
+	// statically (`go e.pump()`, `go drain(ch)`, method values through
+	// single-assignment locals). Nil for literals and unresolved values.
+	Callee *types.Func
+}
+
+// InspectUnit walks unit's own body, skipping nested function literals:
+// their statements execute on whatever goroutine eventually calls them,
+// so they belong to their own unit.
+func InspectUnit(unit ast.Node, visit func(ast.Node) bool) {
+	body := unitBody(unit)
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return visit(n)
+	})
+}
+
+func unitBody(unit ast.Node) *ast.BlockStmt {
+	switch u := unit.(type) {
+	case *ast.FuncDecl:
+		return u.Body
+	case *ast.FuncLit:
+		return u.Body
+	}
+	return nil
+}
+
+// FuncLits returns every function literal inside decl at any depth, in
+// source order — the closure units of the enclosing declaration.
+func FuncLits(decl ast.Node) []*ast.FuncLit {
+	body := unitBody(decl)
+	var lits []*ast.FuncLit
+	if body == nil {
+		return lits
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+		}
+		return true
+	})
+	return lits
+}
+
+// SpawnSites returns the go statements belonging directly to unit (a go
+// inside a nested closure belongs to that closure's unit), with payloads
+// resolved.
+func SpawnSites(info *types.Info, unit ast.Node) []SpawnSite {
+	var sites []SpawnSite
+	InspectUnit(unit, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		s := SpawnSite{Go: g, Call: g.Call}
+		switch fun := ast.Unparen(g.Call.Fun).(type) {
+		case *ast.FuncLit:
+			s.Lit = fun
+		case *ast.Ident:
+			if fn, ok := info.Uses[fun].(*types.Func); ok {
+				s.Callee = fn
+			} else {
+				s.Lit, s.Callee = ResolveFuncValue(info, unit, fun)
+			}
+		case *ast.SelectorExpr:
+			s.Callee, _ = info.Uses[fun.Sel].(*types.Func)
+		}
+		sites = append(sites, s)
+		// Walk into the payload call's arguments (they evaluate on the
+		// spawning goroutine), but the literal body is its own unit.
+		return true
+	})
+	return sites
+}
+
+// ResolveFuncValue resolves a function-valued identifier to the literal
+// or declared function assigned to it, provided the variable is assigned
+// exactly once within scope (the dominant `fn := func(){...}; go fn()`
+// idiom). Returns (nil, nil) when the variable is reassigned, a
+// parameter, or assigned something opaque.
+func ResolveFuncValue(info *types.Info, scope ast.Node, id *ast.Ident) (*ast.FuncLit, *types.Func) {
+	obj, ok := info.Uses[id].(*types.Var)
+	if !ok {
+		obj, ok = info.Defs[id].(*types.Var)
+	}
+	if !ok || obj == nil {
+		return nil, nil
+	}
+	var rhs ast.Expr
+	assigns := 0
+	track := func(lhs, r ast.Expr) {
+		lid, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		if info.Defs[lid] == obj || info.Uses[lid] == obj {
+			assigns++
+			rhs = r
+		}
+	}
+	body := unitBody(scope)
+	if body == nil {
+		return nil, nil
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i < len(n.Rhs) {
+					track(lhs, n.Rhs[i])
+				} else {
+					track(lhs, nil)
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) {
+					track(name, n.Values[i])
+				} else {
+					track(name, nil)
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				// Address taken: could be written through the pointer.
+				if lid, ok := ast.Unparen(n.X).(*ast.Ident); ok && info.Uses[lid] == obj {
+					assigns += 2
+				}
+			}
+		}
+		return true
+	})
+	if assigns != 1 || rhs == nil {
+		return nil, nil
+	}
+	switch r := ast.Unparen(rhs).(type) {
+	case *ast.FuncLit:
+		return r, nil
+	case *ast.Ident:
+		fn, _ := info.Uses[r].(*types.Func)
+		return nil, fn
+	case *ast.SelectorExpr:
+		// Method value: f := s.worker.
+		if sel, ok := info.Selections[r]; ok && sel.Kind() == types.MethodVal {
+			fn, _ := sel.Obj().(*types.Func)
+			return nil, fn
+		}
+		fn, _ := info.Uses[r.Sel].(*types.Func)
+		return nil, fn
+	}
+	return nil, nil
+}
+
+// SyncVar resolves the receiver/operand expression of a synchronization
+// operation (wg.Wait, ch <- v, m.Put) to a stable variable identity: a
+// struct field (the same *types.Var in every method that touches it) or
+// a local/package-level variable.
+func SyncVar(info *types.Info, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return v
+			}
+		}
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.UnaryExpr:
+		return SyncVar(info, e.X)
+	case *ast.StarExpr:
+		return SyncVar(info, e.X)
+	}
+	return nil
+}
+
+// syncMethod reports whether fn is a method of sync.<recvName>.
+func syncMethod(fn *types.Func, recvName string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	recv := fn.Signature().Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == recvName
+}
+
+// WaitGroupOp recognizes wg.Add / wg.Done / wg.Wait on a sync.WaitGroup,
+// returning the WaitGroup variable and the method name.
+func WaitGroupOp(info *types.Info, call *ast.CallExpr) (*types.Var, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	fn := Callee(info, call)
+	if !syncMethod(fn, "WaitGroup") {
+		return nil, "", false
+	}
+	switch fn.Name() {
+	case "Add", "Done", "Wait":
+	default:
+		return nil, "", false
+	}
+	wg := SyncVar(info, sel.X)
+	if wg == nil {
+		return nil, "", false
+	}
+	return wg, fn.Name(), true
+}
+
+// ChanOp recognizes the happens-before-bearing channel operations on n:
+// send statements ("send"), receive expressions and range-over-channel
+// ("recv"), and close calls ("close"). The returned variable is the
+// channel's identity, nil when the operand is not a resolvable variable.
+func ChanOp(info *types.Info, n ast.Node) (*types.Var, string, bool) {
+	switch n := n.(type) {
+	case *ast.SendStmt:
+		return SyncVar(info, n.Chan), "send", true
+	case *ast.UnaryExpr:
+		if n.Op == token.ARROW {
+			return SyncVar(info, n.X), "recv", true
+		}
+	case *ast.RangeStmt:
+		if tv, ok := info.Types[n.X]; ok && tv.Type != nil {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				return SyncVar(info, n.X), "recv", true
+			}
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "close" && len(n.Args) == 1 {
+				return SyncVar(info, n.Args[0]), "close", true
+			}
+		}
+	}
+	return nil, "", false
+}
+
+// ParallelCombinator recognizes calls to the internal/concurrent
+// fork-join combinators (ParallelRange, ParallelItems): the callee runs
+// its body argument on worker goroutines and joins them all before
+// returning, so the call is simultaneously a spawn site for the body
+// literal and a barrier for the caller. Returns the combinator name and
+// the body argument (the last argument).
+func ParallelCombinator(info *types.Info, call *ast.CallExpr) (string, ast.Expr, bool) {
+	fn := Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Signature().Recv() != nil {
+		return "", nil, false
+	}
+	if !HasPathSuffix(fn.Pkg().Path(), "internal/concurrent") {
+		return "", nil, false
+	}
+	switch fn.Name() {
+	case "ParallelRange", "ParallelItems":
+	default:
+		return "", nil, false
+	}
+	if len(call.Args) == 0 {
+		return "", nil, false
+	}
+	return fn.Name(), call.Args[len(call.Args)-1], true
+}
+
+// BarrierCall reports whether call joins goroutines before returning:
+// wg.Wait or a fork-join combinator. After a barrier every effect of the
+// joined goroutines happens-before the caller's next statement.
+func BarrierCall(info *types.Info, call *ast.CallExpr) bool {
+	if _, op, ok := WaitGroupOp(info, call); ok && op == "Wait" {
+		return true
+	}
+	_, _, comb := ParallelCombinator(info, call)
+	return comb
+}
+
+// MailboxOp recognizes Put ("put") and Drain ("drain") calls on
+// concurrent.Mailboxes, returning the mailbox variable identity. Pending
+// is deliberately not an op: it only reads counters and is phase-neutral.
+func MailboxOp(info *types.Info, call *ast.CallExpr) (*types.Var, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	fn := Callee(info, call)
+	if fn == nil || fn.Signature().Recv() == nil {
+		return nil, "", false
+	}
+	if !NamedIn(fn.Signature().Recv().Type(), "Mailboxes", "internal/concurrent") {
+		return nil, "", false
+	}
+	var op string
+	switch fn.Name() {
+	case "Put":
+		op = "put"
+	case "Drain":
+		op = "drain"
+	default:
+		return nil, "", false
+	}
+	mb := SyncVar(info, sel.X)
+	if mb == nil {
+		return nil, "", false
+	}
+	return mb, op, true
+}
+
+// SetLattice builds the union (may) lattice over sets of K: nil is Top
+// (unreached), the empty set is the boundary of "nothing observed yet",
+// and Meet unions. phasediscipline runs its phase tokens on it — K is
+// the mailbox variable, membership means "a Put may have happened with
+// no barrier since". Transfer must pass a nil input through unchanged.
+func SetLattice[K comparable](transfer func(b *Block, in map[K]bool) map[K]bool) Lattice[map[K]bool] {
+	return Lattice[map[K]bool]{
+		Boundary: map[K]bool{},
+		Top:      func() map[K]bool { return nil },
+		Meet:     unionSets[K],
+		Equal:    equalSets[K],
+		Transfer: transfer,
+	}
+}
+
+// MustSetLattice builds the intersection (must) lattice over sets of K:
+// nil is Top, Meet intersects, so a fact survives a join only when it
+// holds on every path. spawnsite and wgbalance run their join/armed
+// facts on it. Transfer must pass a nil input through unchanged.
+func MustSetLattice[K comparable](boundary map[K]bool, transfer func(b *Block, in map[K]bool) map[K]bool) Lattice[map[K]bool] {
+	return Lattice[map[K]bool]{
+		Boundary: boundary,
+		Top:      func() map[K]bool { return nil },
+		Meet:     intersectSets[K],
+		Equal:    equalSets[K],
+		Transfer: transfer,
+	}
+}
+
+func unionSets[K comparable](a, b map[K]bool) map[K]bool {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	u := make(map[K]bool, len(a)+len(b))
+	for k := range a {
+		u[k] = true
+	}
+	for k := range b {
+		u[k] = true
+	}
+	return u
+}
+
+func intersectSets[K comparable](a, b map[K]bool) map[K]bool {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	u := map[K]bool{}
+	for k := range a {
+		if b[k] {
+			u[k] = true
+		}
+	}
+	return u
+}
+
+func equalSets[K comparable](a, b map[K]bool) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// CloneSet copies a fact set; nil stays nil.
+func CloneSet[K comparable](s map[K]bool) map[K]bool {
+	if s == nil {
+		return nil
+	}
+	c := make(map[K]bool, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}

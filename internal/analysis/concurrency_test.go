@@ -1,0 +1,335 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// checkTestPkgAt type-checks one import-free source file under an
+// explicit import path — the concurrency recognizers key on path
+// suffixes (internal/concurrent), so tests pick the path per fixture.
+func checkTestPkgAt(t *testing.T, pkgpath, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "pkg.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check(pkgpath, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{PkgPath: pkgpath, Fset: fset, Files: []*ast.File{f}, Types: tpkg, TypesInfo: info}
+}
+
+func declOf(t *testing.T, pkg *Package, name string) *ast.FuncDecl {
+	t.Helper()
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+				return fd
+			}
+		}
+	}
+	t.Fatalf("no function %q", name)
+	return nil
+}
+
+// TestSpawnSitesResolution covers the three payload shapes the ISSUE
+// names: direct closures, single-assignment closure variables, and
+// method values, plus the belongs-to-unit rule for nested literals.
+func TestSpawnSitesResolution(t *testing.T) {
+	pkg := checkTestPkgAt(t, "p", `package p
+
+type box struct{}
+
+func (b *box) fill() {}
+
+func direct() {
+	go func() {}()
+}
+
+func viaLocal() {
+	fn := func() {}
+	go fn()
+}
+
+func viaMethodValue(b *box) {
+	f := b.fill
+	go f()
+}
+
+func reassigned(a, b func()) {
+	fn := a
+	fn = b
+	go fn()
+}
+
+func nested() {
+	helper := func() {
+		go func() {}() // belongs to helper's unit, not nested's
+	}
+	helper()
+}
+`)
+	info := pkg.TypesInfo
+
+	s := SpawnSites(info, declOf(t, pkg, "direct"))
+	if len(s) != 1 || s[0].Lit == nil {
+		t.Errorf("direct: sites=%d litResolved=%v, want 1 site with literal", len(s), len(s) == 1 && s[0].Lit != nil)
+	}
+
+	s = SpawnSites(info, declOf(t, pkg, "viaLocal"))
+	if len(s) != 1 || s[0].Lit == nil {
+		t.Error("viaLocal: single-assignment closure variable not resolved to its literal")
+	}
+
+	s = SpawnSites(info, declOf(t, pkg, "viaMethodValue"))
+	if len(s) != 1 || s[0].Callee == nil || s[0].Callee.Name() != "fill" {
+		t.Error("viaMethodValue: method value not resolved to the fill method")
+	}
+
+	s = SpawnSites(info, declOf(t, pkg, "reassigned"))
+	if len(s) != 1 || s[0].Lit != nil || s[0].Callee != nil {
+		t.Error("reassigned: a reassigned function variable must stay unresolved")
+	}
+
+	s = SpawnSites(info, declOf(t, pkg, "nested"))
+	if len(s) != 0 {
+		t.Errorf("nested: %d sites attributed to the outer unit, want 0 (the go belongs to the closure)", len(s))
+	}
+	lits := FuncLits(declOf(t, pkg, "nested"))
+	if len(lits) != 2 {
+		t.Fatalf("nested: found %d literals, want 2", len(lits))
+	}
+	if s = SpawnSites(info, lits[0]); len(s) != 1 {
+		t.Errorf("nested: helper literal owns %d spawn sites, want 1", len(s))
+	}
+}
+
+// TestSyncRecognizers: WaitGroup, channel, combinator and mailbox ops
+// resolve to stable variable identities and the right op names.
+func TestSyncRecognizers(t *testing.T) {
+	pkg := checkTestPkgAt(t, "example.com/internal/concurrent", `package concurrent
+
+import "sync"
+
+type Mailboxes[T any] struct{ k int }
+
+func (m *Mailboxes[T]) Put(src, dst int32, v T) {}
+func (m *Mailboxes[T]) Drain(dst int32, f func(T)) {}
+
+func ParallelRange(n, workers int, body func(start, end int)) {}
+func ParallelItems(n, workers, grain int, body func(i int)) {}
+
+type state struct {
+	wg sync.WaitGroup
+	mb *Mailboxes[int]
+}
+
+func ops(s *state, ch chan int) {
+	s.wg.Add(2)
+	s.wg.Done()
+	s.wg.Wait()
+	ch <- 1
+	<-ch
+	close(ch)
+	s.mb.Put(0, 1, 7)
+	s.mb.Drain(1, func(int) {})
+	ParallelRange(8, 4, func(start, end int) {})
+}
+`)
+	info := pkg.TypesInfo
+	var wgOps, chOps, mbOps []string
+	combinators := 0
+	barriers := 0
+	ast.Inspect(declOf(t, pkg, "ops").Body, func(n ast.Node) bool {
+		if v, op, ok := ChanOp(info, n); ok {
+			if v == nil {
+				t.Errorf("ChanOp %s: nil channel identity", op)
+			}
+			chOps = append(chOps, op)
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if v, op, ok := WaitGroupOp(info, call); ok {
+			if v == nil || v.Name() != "wg" {
+				t.Errorf("WaitGroupOp %s resolved to %v, want field wg", op, v)
+			}
+			wgOps = append(wgOps, op)
+		}
+		if v, op, ok := MailboxOp(info, call); ok {
+			if v == nil || v.Name() != "mb" {
+				t.Errorf("MailboxOp %s resolved to %v, want field mb", op, v)
+			}
+			mbOps = append(mbOps, op)
+		}
+		if _, _, ok := ParallelCombinator(info, call); ok {
+			combinators++
+		}
+		if BarrierCall(info, call) {
+			barriers++
+		}
+		return true
+	})
+	want := func(name string, got, exp []string) {
+		if len(got) != len(exp) {
+			t.Fatalf("%s = %v, want %v", name, got, exp)
+		}
+		for i := range exp {
+			if got[i] != exp[i] {
+				t.Errorf("%s = %v, want %v", name, got, exp)
+			}
+		}
+	}
+	want("WaitGroup ops", wgOps, []string{"Add", "Done", "Wait"})
+	want("chan ops", chOps, []string{"send", "recv", "close"})
+	want("mailbox ops", mbOps, []string{"put", "drain"})
+	if combinators != 1 {
+		t.Errorf("ParallelCombinator matched %d calls, want 1", combinators)
+	}
+	// Barriers: wg.Wait + ParallelRange.
+	if barriers != 2 {
+		t.Errorf("BarrierCall matched %d calls, want 2 (Wait + ParallelRange)", barriers)
+	}
+}
+
+// callNamesIn lists the identifiers called by the block's nodes — the
+// phase-token tests drive transfer functions off bare call names.
+func callNamesIn(b *Block) []string {
+	var names []string
+	for _, n := range b.Nodes {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok {
+					names = append(names, id.Name)
+				}
+			}
+			return true
+		})
+	}
+	return names
+}
+
+// TestSolvePhaseTokens: the phasediscipline lattice shape on the solver.
+// A "put" raises the mailbox's phase token, a "barrier" lowers every
+// token, and the may-union meet keeps a token raised if ANY path into a
+// block carries an unbarriered put.
+func TestSolvePhaseTokens(t *testing.T) {
+	run := func(src string) map[string]bool {
+		cfg, _, _ := buildTestCFG(t, src)
+		lat := SetLattice(func(b *Block, in map[string]bool) map[string]bool {
+			if in == nil {
+				return nil
+			}
+			out := CloneSet(in)
+			for _, name := range callNamesIn(b) {
+				switch name {
+				case "put":
+					out["mb"] = true
+				case "barrier":
+					out = map[string]bool{}
+				}
+			}
+			return out
+		})
+		res := Solve(cfg, Forward, lat)
+		return res.In[cfg.Exit]
+	}
+
+	// Barrier on only one branch: the token survives the join.
+	tokens := run(`
+func f(c bool, put, barrier func()) {
+	put()
+	if c {
+		barrier()
+	}
+}`)
+	if !tokens["mb"] {
+		t.Error("one-sided barrier: token should survive the may-join")
+	}
+
+	// Barrier on every path: the token is definitely lowered.
+	tokens = run(`
+func f(c bool, put, barrier func()) {
+	put()
+	if c {
+		barrier()
+	} else {
+		barrier()
+	}
+}`)
+	if tokens["mb"] {
+		t.Error("all-paths barrier: token should be lowered at exit")
+	}
+
+	// A put inside a loop stays raised across the back edge.
+	tokens = run(`
+func f(n int, put func()) {
+	for i := 0; i < n; i++ {
+		put()
+	}
+}`)
+	if !tokens["mb"] {
+		t.Error("loop put: token should reach exit through the loop exit edge")
+	}
+}
+
+// TestSolveMustJoinTokens: the spawnsite/wgbalance lattice shape — a
+// backward must-analysis where a join (wait) only counts if it appears
+// on EVERY path from the point to exit.
+func TestSolveMustJoinTokens(t *testing.T) {
+	run := func(src string) map[string]bool {
+		cfg, _, _ := buildTestCFG(t, src)
+		lat := MustSetLattice(map[string]bool{}, func(b *Block, in map[string]bool) map[string]bool {
+			if in == nil {
+				return nil
+			}
+			out := CloneSet(in)
+			for _, name := range callNamesIn(b) {
+				if name == "wait" {
+					out["wg"] = true
+				}
+			}
+			return out
+		})
+		res := Solve(cfg, Backward, lat)
+		return res.Out[cfg.Entry]
+	}
+
+	joined := run(`
+func f(c bool, wait func()) {
+	if c {
+		wait()
+	} else {
+		wait()
+	}
+}`)
+	if !joined["wg"] {
+		t.Error("wait on both branches: wg must be joined on every path")
+	}
+
+	joined = run(`
+func f(c bool, wait func()) {
+	if c {
+		wait()
+	}
+}`)
+	if joined["wg"] {
+		t.Error("wait on one branch only: wg must NOT count as joined")
+	}
+}

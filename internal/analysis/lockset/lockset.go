@@ -169,13 +169,15 @@ func run(mp *analysis.ModulePass) error {
 }
 
 // isRoot reports whether n can be entered from outside the analyzed
-// module view: exported API, no analyzed caller, or address taken.
+// module view: exported API, no analyzed caller, address taken, or
+// spawned as a goroutine (a go statement starts n on a fresh stack, so
+// no caller-held lockset flows into it).
 func isRoot(n *analysis.CGNode) bool {
 	if ast.IsExported(n.Fn.Name()) || len(n.In) == 0 {
 		return true
 	}
 	for _, e := range n.In {
-		if e.Kind == "ref" {
+		if e.Kind == "ref" || e.Kind == "go" {
 			return true
 		}
 	}

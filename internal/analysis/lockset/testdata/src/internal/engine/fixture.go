@@ -83,3 +83,38 @@ func (e *exchange) traffic() int64 {
 func (e *exchange) bumpStamp() { e.stamp++ }
 
 func (e *exchange) epoch() int64 { return e.stamp }
+
+// Positive: a named worker spawned in a loop from inside the critical
+// section starts on a fresh stack — the caller's lockset must not flow
+// through the go edge (the spawned function is a root with an empty
+// entry set), so its bare access to the guarded field is flagged.
+func (e *exchange) spawnNamedWorkers(k int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i := 0; i < k; i++ {
+		go e.pendingWorker(i)
+	}
+}
+
+func (e *exchange) pendingWorker(n int) {
+	e.pending += n // want "field pending is protected by mu"
+}
+
+// Negative: WaitGroup misuse (Add raced inside the spawned goroutine
+// rather than before the spawn) is wgbalance's finding, not lockset's —
+// no mutex is involved, so lockset must stay quiet here.
+type gather struct {
+	wg  sync.WaitGroup
+	out []int64
+}
+
+func (g *gather) run(k int) {
+	for i := 0; i < k; i++ {
+		go func(i int) {
+			g.wg.Add(1)
+			defer g.wg.Done()
+			g.out[i] = int64(i)
+		}(i)
+	}
+	g.wg.Wait()
+}

@@ -1,0 +1,18 @@
+package phasediscipline_test
+
+import (
+	"testing"
+
+	"github.com/graphbig/graphbig-go/internal/analysis"
+	"github.com/graphbig/graphbig-go/internal/analysis/phasediscipline"
+)
+
+// TestPhaseDiscipline covers the row-writer/column-reader contract:
+// clean superstep shapes (combinator barrier, wg.Wait barrier, looped
+// rounds, internally-barriered callees invoked back to back) against
+// same-goroutine Put-then-Drain, delegated Puts and Drains through
+// sequence-aware summaries, unjoined spawned writers, and a
+// one-branch-only barrier.
+func TestPhaseDiscipline(t *testing.T) {
+	analysis.RunTest(t, phasediscipline.Analyzer, "internal/engine")
+}

@@ -1,0 +1,66 @@
+// Package concurrent (fixture) mirrors the real internal/concurrent API
+// surface the phasediscipline analyzer recognizes: the Mailboxes
+// exchange buffer and the fork-join combinators whose return is the
+// superstep barrier.
+package concurrent
+
+import "sync"
+
+// Mailboxes is a k×k append-only exchange buffer (fixture shape).
+type Mailboxes[T any] struct {
+	k   int
+	box [][]T
+	n   int64
+}
+
+// NewMailboxes returns an empty k-partition exchange buffer.
+func NewMailboxes[T any](k int) *Mailboxes[T] {
+	return &Mailboxes[T]{k: k, box: make([][]T, k*k)}
+}
+
+// Put appends msg to box (src, dst).
+func (m *Mailboxes[T]) Put(src, dst int32, msg T) {
+	m.box[int(src)*m.k+int(dst)] = append(m.box[int(src)*m.k+int(dst)], msg)
+	m.n++
+}
+
+// Drain consumes column dst.
+func (m *Mailboxes[T]) Drain(dst int32, fn func(msg T)) int {
+	total := 0
+	for src := 0; src < m.k; src++ {
+		b := m.box[src*m.k+int(dst)]
+		for _, msg := range b {
+			fn(msg)
+		}
+		total += len(b)
+		m.box[src*m.k+int(dst)] = nil
+	}
+	return total
+}
+
+// Pending reports the number of undrained messages; phase-neutral.
+func (m *Mailboxes[T]) Pending() int64 { return m.n }
+
+// ParallelRange splits [0,n) into chunks; its return is a barrier.
+func ParallelRange(n, workers int, body func(start, end int)) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := w*n/workers, (w+1)*n/workers
+			body(lo, hi)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ParallelItems runs body(i) for every i in [0,n); its return is a
+// barrier.
+func ParallelItems(n, workers, grain int, body func(i int)) {
+	ParallelRange(n, workers, func(start, end int) {
+		for i := start; i < end; i++ {
+			body(i)
+		}
+	})
+}

@@ -1,0 +1,123 @@
+// Package engine (fixture) exercises the Mailboxes phase discipline:
+// a goroutine that Put since the last superstep barrier must not Drain
+// until a barrier seals the emit phase.
+package engine
+
+import (
+	"sync"
+
+	"internal/concurrent"
+)
+
+type state struct {
+	mail *concurrent.Mailboxes[int32]
+	wg   sync.WaitGroup
+	dist []int32
+}
+
+// superstep: the canonical clean pattern — row writers Put inside the
+// combinator body, the combinator's return is the barrier, and only
+// then do column readers Drain.
+func (s *state) superstep(k int) {
+	concurrent.ParallelItems(k, k, 1, func(p int) {
+		s.mail.Put(int32(p), int32((p+1)%k), int32(p))
+	})
+	concurrent.ParallelItems(k, k, 1, func(q int) {
+		s.mail.Drain(int32(q), func(m int32) { s.dist[q] += m })
+	})
+}
+
+// wgBarrier: clean — a hand-rolled fork-join; the Wait seals the
+// spawned writer's Put before the Drain.
+func (s *state) wgBarrier() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.mail.Put(0, 1, 7)
+	}()
+	s.wg.Wait()
+	s.mail.Drain(1, func(m int32) { s.dist[1] = m })
+}
+
+// roundLoop: clean — put phase, barrier, drain phase, repeat; the back
+// edge carries a clean token set because each round re-barriers.
+func (s *state) roundLoop(k, rounds int) {
+	for r := 0; r < rounds; r++ {
+		concurrent.ParallelItems(k, k, 1, func(p int) {
+			s.emit(int32(p))
+		})
+		for q := 0; q < k; q++ {
+			s.mail.Drain(int32(q), func(m int32) { s.dist[q] += m })
+		}
+	}
+}
+
+// emit leaks an unbarriered Put to its caller (exitRaised = {mail}).
+func (s *state) emit(p int32) {
+	s.mail.Put(p, p, 1)
+}
+
+// step puts, barriers, and drains internally, so its exit is clean —
+// callers may invoke it back to back (the Traverse shape).
+func (s *state) step(k int) {
+	concurrent.ParallelItems(k, k, 1, func(p int) {
+		s.mail.Put(int32(p), int32(p), 1)
+	})
+	s.mail.Drain(0, func(m int32) { s.dist[0] += m })
+}
+
+// drive: clean — step's summary exits with every token lowered, so the
+// repeated calls do not compound.
+func (s *state) drive(k int) {
+	s.step(k)
+	s.step(k)
+}
+
+// putThenDrain: the violation the analyzer exists for — the same
+// goroutine reads the matrix it may still be writing.
+func (s *state) putThenDrain() {
+	s.mail.Put(0, 1, 3)
+	s.mail.Drain(1, func(m int32) { s.dist[1] = m }) // want "Drain of mailbox .* may follow this goroutine's own Put"
+}
+
+// delegatedPut: the Put hides behind a call (emit's exitRaised), the
+// Drain is direct — the token still reaches it.
+func (s *state) delegatedPut() {
+	s.emit(2)
+	s.mail.Drain(2, func(m int32) { s.dist[2] = m }) // want "Drain of mailbox .* may follow this goroutine's own Put"
+}
+
+// flush drains before any barrier of its own (entryDrains = {mail}).
+func (s *state) flush(q int32) {
+	s.mail.Drain(q, func(m int32) { s.dist[q] += m })
+}
+
+// delegatedDrain: the Drain hides behind a call while this goroutine's
+// own Put is unbarriered.
+func (s *state) delegatedDrain() {
+	s.mail.Put(0, 0, 9)
+	s.flush(0) // want "call drains mailbox .* while this goroutine's own Put is unbarriered"
+}
+
+// spawnedPutter: the go statement raises the token — the spawned writer
+// runs concurrently with the Drain because nothing joins it first.
+func (s *state) spawnedPutter() {
+	go func() {
+		s.mail.Put(0, 1, 5)
+	}()
+	s.mail.Drain(1, func(m int32) { s.dist[1] = m }) // want "Drain of mailbox .* may follow this goroutine's own Put"
+}
+
+// condBarrier: the barrier happens on only one branch; the may-union
+// keeps the token raised at the join.
+func (s *state) condBarrier(c bool) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.mail.Put(1, 0, 2)
+	}()
+	if c {
+		s.wg.Wait()
+	}
+	s.mail.Drain(0, func(m int32) { s.dist[0] = m }) // want "Drain of mailbox .* may follow this goroutine's own Put"
+}

@@ -1,0 +1,402 @@
+package sharedwrite
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// The prover: per-context symbolic facts about which expressions denote
+// worker-distinct indices or worker-owned slices.
+
+// prov is a disjointness proof. ok means proven outright in this
+// context; via non-nil means the proof is conditional on the named
+// function parameter being worker-distinct (or worker-owned) at the
+// call site — the currency of summaries. The zero prov is "unproven".
+type prov struct {
+	ok  bool
+	via *types.Var
+}
+
+func (p prov) proven() bool { return p.ok || p.via != nil }
+
+// vfact is what the walker knows about one local variable.
+type vfact struct {
+	// distinct: the variable's value is a worker-distinct index.
+	distinct prov
+	// owned: the variable holds a slice owned by this worker (element
+	// writes need no index proof). ownedLo, when non-nil, is the window
+	// low-bound variable the slice was cut at — it feeds the
+	// range-offset rule (lo + rangeIndex is worker-distinct).
+	owned   prov
+	ownedLo *types.Var
+	// off/offP: the variable is an index into a worker-owned slice cut
+	// at off, so (off + this) is worker-distinct with proof offP.
+	off  *types.Var
+	offP prov
+}
+
+// window is a proven half-open index window [lo, hi): distinct workers
+// hold disjoint windows. Seeded from ParallelRange body parameters,
+// partition Plan.Range results, and spawn-site bounds-array pairs.
+type window struct {
+	lo, hi *types.Var
+	p      prov
+}
+
+// env is the walking state of one evaluation context (a parallel worker
+// body, or a callee being summarized).
+type env struct {
+	c    *checker
+	pkg  *pkginfo
+	root ast.Node // enclosing declaration, for func-value resolution
+	// locals: variables declared inside the context (writes to the
+	// variable itself are goroutine-local).
+	locals  map[*types.Var]bool
+	facts   map[*types.Var]*vfact
+	windows []window
+	held    map[*types.Var]bool // mutexes currently locked
+	waived  int                 // >0 inside a waived statement subtree
+	sum     *summary            // non-nil when collecting a callee summary
+}
+
+func (e *env) info() *types.Info { return e.pkg.info }
+
+func (e *env) fact(v *types.Var) *vfact {
+	if v == nil {
+		return nil
+	}
+	return e.facts[v]
+}
+
+func (e *env) setFact(v *types.Var, f vfact) {
+	if v == nil {
+		return
+	}
+	e.locals[v] = true
+	e.facts[v] = &f
+}
+
+func (e *env) heldAny() bool { return len(e.held) > 0 }
+
+// objOf resolves an identifier to its variable object (defs or uses).
+func (e *env) objOf(id *ast.Ident) *types.Var {
+	if v, ok := e.info().Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := e.info().Uses[id].(*types.Var)
+	return v
+}
+
+func identVar(e *env, x ast.Expr) *types.Var {
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return e.objOf(id)
+}
+
+func (e *env) isConst(x ast.Expr) bool {
+	tv, ok := e.info().Types[x]
+	return ok && tv.Value != nil
+}
+
+func (e *env) isNonzeroConst(x ast.Expr) bool {
+	tv, ok := e.info().Types[x]
+	return ok && tv.Value != nil && tv.Value.Kind() == constant.Int && constant.Sign(tv.Value) != 0
+}
+
+// prove establishes that x evaluates to a worker-distinct index.
+// Handles: identifiers with facts; parenthesization; value-preserving
+// conversions and module-wide identity functions (property.Index32);
+// x±const; x*const (nonzero); and the range-offset form lo+dv.
+func (e *env) prove(x ast.Expr) prov {
+	x = ast.Unparen(x)
+	switch x := x.(type) {
+	case *ast.Ident:
+		if f := e.fact(e.objOf(x)); f != nil {
+			return f.distinct
+		}
+	case *ast.CallExpr:
+		if len(x.Args) == 1 {
+			if tv, ok := e.info().Types[x.Fun]; ok && tv.IsType() {
+				return e.prove(x.Args[0]) // conversion
+			}
+			if fn := calleeOf(e.info(), x); fn != nil && e.c.identFns[fn] {
+				return e.prove(x.Args[0]) // identity function
+			}
+		}
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.ADD:
+			if p := e.offsetProv(x.X, x.Y); p.proven() {
+				return p
+			}
+			if p := e.offsetProv(x.Y, x.X); p.proven() {
+				return p
+			}
+			if e.isConst(x.Y) {
+				return e.prove(x.X)
+			}
+			if e.isConst(x.X) {
+				return e.prove(x.Y)
+			}
+		case token.SUB:
+			if e.isConst(x.Y) {
+				return e.prove(x.X)
+			}
+		case token.MUL:
+			if e.isNonzeroConst(x.Y) {
+				return e.prove(x.X)
+			}
+			if e.isNonzeroConst(x.X) {
+				return e.prove(x.Y)
+			}
+		}
+	}
+	return prov{}
+}
+
+// offsetProv proves lo + dv where dv ranges over a worker-owned slice
+// cut at lo: the sum is a worker-distinct absolute index.
+func (e *env) offsetProv(loE, dvE ast.Expr) prov {
+	lo := identVar(e, loE)
+	dv := identVar(e, dvE)
+	if lo == nil || dv == nil {
+		return prov{}
+	}
+	if f := e.fact(dv); f != nil && f.off == lo {
+		return f.offP
+	}
+	return prov{}
+}
+
+// ownedProve establishes that x evaluates to a worker-owned slice,
+// returning the proof and, when known, the window low-bound variable
+// the slice was cut at.
+func (e *env) ownedProve(x ast.Expr) (prov, *types.Var) {
+	x = ast.Unparen(x)
+	switch x := x.(type) {
+	case *ast.Ident:
+		if f := e.fact(e.objOf(x)); f != nil {
+			return f.owned, f.ownedLo
+		}
+	case *ast.SliceExpr:
+		if bp, _ := e.ownedProve(x.X); bp.proven() {
+			return bp, nil // re-slicing an owned slice stays owned
+		}
+		if x.Low != nil && x.High != nil {
+			if wp, loV, ok := e.windowProv(x.Low, x.High); ok {
+				return wp, loV
+			}
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+			if b, ok := e.info().Uses[id].(*types.Builtin); ok {
+				switch b.Name() {
+				case "make", "new":
+					return prov{ok: true}, nil
+				case "append":
+					if len(x.Args) > 0 {
+						p, lo := e.ownedProve(x.Args[0])
+						return p, lo
+					}
+				}
+			}
+		}
+		if tv, ok := e.info().Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			return e.ownedProve(x.Args[0])
+		}
+	case *ast.CompositeLit:
+		return prov{ok: true}, nil
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+				return prov{ok: true}, nil
+			}
+		}
+	}
+	return prov{}, nil
+}
+
+// windowProv proves that [loE, hiE) is a worker-disjoint window.
+// Three shapes:
+//   - a registered (lo, hi) variable pair (ParallelRange params,
+//     partition Plan.Range results, spawn-seeded pairs);
+//   - bounds-array adjacency b[F] / b[F+c] over a shared monotone
+//     bounds array, distinct when F is worker-distinct;
+//   - the affine chunk π*m / π*m+m for worker-distinct π.
+func (e *env) windowProv(loE, hiE ast.Expr) (prov, *types.Var, bool) {
+	loE, hiE = ast.Unparen(loE), ast.Unparen(hiE)
+	if lv, hv := identVar(e, loE), identVar(e, hiE); lv != nil && hv != nil {
+		for _, w := range e.windows {
+			if w.lo == lv && w.hi == hv {
+				return w.p, lv, true
+			}
+		}
+	}
+	if li, ok := loE.(*ast.IndexExpr); ok {
+		if hi, ok := hiE.(*ast.IndexExpr); ok {
+			lb, hb := identVar(e, li.X), identVar(e, hi.X)
+			if lb != nil && lb == hb && e.isPlusConst(hi.Index, li.Index) {
+				if p := e.prove(li.Index); p.proven() {
+					return p, nil, true
+				}
+			}
+		}
+	}
+	// affine: hi == lo + m, lo == π*m with π worker-distinct.
+	if hb, ok := hiE.(*ast.BinaryExpr); ok && hb.Op == token.ADD {
+		var m ast.Expr
+		switch {
+		case astEqual(e, hb.X, loE):
+			m = hb.Y
+		case astEqual(e, hb.Y, loE):
+			m = hb.X
+		}
+		if m != nil {
+			if lb, ok := loE.(*ast.BinaryExpr); ok && lb.Op == token.MUL {
+				if astEqual(e, lb.Y, m) {
+					if p := e.prove(lb.X); p.proven() {
+						return p, nil, true
+					}
+				}
+				if astEqual(e, lb.X, m) {
+					if p := e.prove(lb.Y); p.proven() {
+						return p, nil, true
+					}
+				}
+			}
+		}
+	}
+	return prov{}, nil, false
+}
+
+// isPlusConst reports a == b + c for a nonzero integer constant c.
+func (e *env) isPlusConst(a, b ast.Expr) bool {
+	ab, ok := ast.Unparen(a).(*ast.BinaryExpr)
+	if !ok || ab.Op != token.ADD {
+		return false
+	}
+	if astEqual(e, ab.X, b) && e.isNonzeroConst(ab.Y) {
+		return true
+	}
+	return astEqual(e, ab.Y, b) && e.isNonzeroConst(ab.X)
+}
+
+// astEqual is structural expression equality with identifier identity
+// resolved through the type checker (two mentions of the same variable
+// are equal; shadowed same-name variables are not).
+func astEqual(e *env, a, b ast.Expr) bool {
+	a, b = ast.Unparen(a), ast.Unparen(b)
+	switch a := a.(type) {
+	case *ast.Ident:
+		bb, ok := b.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		av, bv := e.objOf(a), e.objOf(bb)
+		return av != nil && av == bv
+	case *ast.BasicLit:
+		bb, ok := b.(*ast.BasicLit)
+		return ok && a.Kind == bb.Kind && a.Value == bb.Value
+	case *ast.BinaryExpr:
+		bb, ok := b.(*ast.BinaryExpr)
+		return ok && a.Op == bb.Op && astEqual(e, a.X, bb.X) && astEqual(e, a.Y, bb.Y)
+	case *ast.UnaryExpr:
+		bb, ok := b.(*ast.UnaryExpr)
+		return ok && a.Op == bb.Op && astEqual(e, a.X, bb.X)
+	case *ast.IndexExpr:
+		bb, ok := b.(*ast.IndexExpr)
+		return ok && astEqual(e, a.X, bb.X) && astEqual(e, a.Index, bb.Index)
+	case *ast.SelectorExpr:
+		bb, ok := b.(*ast.SelectorExpr)
+		if !ok || !astEqual(e, a.X, bb.X) {
+			return false
+		}
+		return e.info().Uses[a.Sel] == e.info().Uses[bb.Sel]
+	}
+	return false
+}
+
+// vfactOf computes the fact for a variable assigned rhs.
+func (e *env) vfactOf(rhs ast.Expr) vfact {
+	var f vfact
+	f.distinct = e.prove(rhs)
+	f.owned, f.ownedLo = e.ownedProve(rhs)
+	return f
+}
+
+// escapeGuard recognizes `if x < lo || x >= hi { continue }` (either
+// disjunct order; the body a lone continue/break/return): after the
+// guard, x is confined to the window [lo, hi). Returns the guarded
+// variable and the window proof.
+func (e *env) escapeGuard(s ast.Stmt) (*types.Var, prov, bool) {
+	ifs, ok := s.(*ast.IfStmt)
+	if !ok || ifs.Init != nil || ifs.Else != nil || !loneEscape(ifs.Body) {
+		return nil, prov{}, false
+	}
+	or, ok := ast.Unparen(ifs.Cond).(*ast.BinaryExpr)
+	if !ok || or.Op != token.LOR {
+		return nil, prov{}, false
+	}
+	for _, try := range [2][2]ast.Expr{{or.X, or.Y}, {or.Y, or.X}} {
+		low, ok := ast.Unparen(try[0]).(*ast.BinaryExpr)
+		if !ok || low.Op != token.LSS {
+			continue
+		}
+		high, ok := ast.Unparen(try[1]).(*ast.BinaryExpr)
+		if !ok || high.Op != token.GEQ {
+			continue
+		}
+		x := identVar(e, low.X)
+		if x == nil || x != identVar(e, high.X) {
+			continue
+		}
+		if wp, _, ok := e.windowProv(low.Y, high.Y); ok {
+			return x, wp, true
+		}
+	}
+	return nil, prov{}, false
+}
+
+// containGuard recognizes `if x >= lo && x < hi { ... }`: inside the
+// then-branch, x is confined to the window.
+func (e *env) containGuard(ifs *ast.IfStmt) (*types.Var, prov, bool) {
+	and, ok := ast.Unparen(ifs.Cond).(*ast.BinaryExpr)
+	if !ok || and.Op != token.LAND {
+		return nil, prov{}, false
+	}
+	for _, try := range [2][2]ast.Expr{{and.X, and.Y}, {and.Y, and.X}} {
+		low, ok := ast.Unparen(try[0]).(*ast.BinaryExpr)
+		if !ok || low.Op != token.GEQ {
+			continue
+		}
+		high, ok := ast.Unparen(try[1]).(*ast.BinaryExpr)
+		if !ok || high.Op != token.LSS {
+			continue
+		}
+		x := identVar(e, low.X)
+		if x == nil || x != identVar(e, high.X) {
+			continue
+		}
+		if wp, _, ok := e.windowProv(low.Y, high.Y); ok {
+			return x, wp, true
+		}
+	}
+	return nil, prov{}, false
+}
+
+func loneEscape(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) != 1 {
+		return false
+	}
+	switch s := b.List[0].(type) {
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE || s.Tok == token.BREAK
+	case *ast.ReturnStmt:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,20 @@
+package sharedwrite_test
+
+import (
+	"testing"
+
+	"github.com/graphbig/graphbig-go/internal/analysis"
+	"github.com/graphbig/graphbig-go/internal/analysis/sharedwrite"
+)
+
+// TestSharedWrite covers the prover (distinct items, affine images,
+// identity peeling, range windows, partition Plan windows, escape
+// guards, owned subslices with the range-offset rule, bounds-array
+// spawn windows, mutexes including deferred unlocks, and callee
+// summaries with re-proven requirements) against the violation forms
+// (captured counters and indices, field writes, delegated shared
+// writes, unproven callee requirements, captured loop variables) and
+// the waiver mechanics including the mandatory justification.
+func TestSharedWrite(t *testing.T) {
+	analysis.RunTest(t, sharedwrite.Analyzer, "internal/engine")
+}

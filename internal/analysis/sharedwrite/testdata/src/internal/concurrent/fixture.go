@@ -1,0 +1,30 @@
+// Package concurrent (fixture) mirrors the fork-join combinator surface
+// the sharedwrite analyzer recognizes.
+package concurrent
+
+import "sync"
+
+// ParallelRange splits [0,n) into per-worker windows; its return is a
+// barrier.
+func ParallelRange(n, workers int, body func(start, end int)) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := w*n/workers, (w+1)*n/workers
+			body(lo, hi)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ParallelItems runs body(i) for every i in [0,n); its return is a
+// barrier.
+func ParallelItems(n, workers, grain int, body func(i int)) {
+	ParallelRange(n, workers, func(start, end int) {
+		for i := start; i < end; i++ {
+			body(i)
+		}
+	})
+}

@@ -1,0 +1,13 @@
+// Package partition (fixture) mirrors the partition Plan surface whose
+// Range method yields worker-disjoint vertex windows.
+package partition
+
+// Plan is a k-way vertex partition with monotone bounds.
+type Plan struct {
+	Bounds []int32
+}
+
+// Range returns partition q's half-open vertex window.
+func (p *Plan) Range(q int) (int32, int32) {
+	return p.Bounds[q], p.Bounds[q+1]
+}

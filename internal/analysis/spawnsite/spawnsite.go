@@ -1,0 +1,238 @@
+// Package spawnsite enforces the module's goroutine-join discipline:
+// every goroutine spawned in the concurrency-bearing packages must be
+// joined — through a sync.WaitGroup the spawner Waits on, or a channel
+// the spawner receives from — on every path from the spawn to the
+// spawning function's return. An unjoined spawn is either a goroutine
+// leak or, worse, a fire-and-forget writer whose stores race with the
+// spawner's subsequent reads of the shared state.
+//
+// The analysis is a backward must-dataflow over the spawner's CFG: the
+// fact at a program point is the set of join objects (WaitGroup
+// variables passed to Wait, channel variables received from) that occur
+// on EVERY path from that point to the function's exit. At each go
+// statement the spawned payload's completion signals (the WaitGroups it
+// Dones, the channels it sends on or closes) are matched against that
+// must-join set:
+//
+//   - a payload with no completion signal at all is fire-and-forget and
+//     is reported regardless of what the spawner waits for;
+//   - a payload whose signals never intersect the must-join set is
+//     reported as unjoined — some path reaches return without the
+//     matching Wait/receive.
+//
+// Payloads are resolved through the shared spawn-site layer: direct
+// closures, single-assignment closure variables, method values, and
+// declared functions (whose signalled WaitGroup fields resolve to the
+// same *types.Var the spawner Waits on). A declared payload that
+// signals an unresolvable local is matched loosely against any join —
+// the analyzer then only demands that the spawner joins something.
+//
+// The fork-join combinators (concurrent.ParallelRange/ParallelItems)
+// are not spawn sites here: they join their workers before returning by
+// construction, and their own implementation is in scope and checked.
+package spawnsite
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/graphbig/graphbig-go/internal/analysis"
+)
+
+// Analyzer is the spawnsite module analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:      "spawnsite",
+	Doc:       "spawned goroutines must be joined (WaitGroup/channel) on every path before the spawner returns",
+	RunModule: run,
+}
+
+// scope: the packages that own goroutines. Matches both the real module
+// packages and the GOPATH-style test fixtures.
+var scope = []string{
+	"internal/engine",
+	"internal/concurrent",
+	"internal/property",
+	"internal/workloads",
+}
+
+func run(mp *analysis.ModulePass) error {
+	m := mp.Module
+	cg := m.CallGraph()
+	for _, node := range cg.Declared() {
+		if node.Pkg == nil || !analysis.HasPathSuffix(node.Pkg.PkgPath, scope...) {
+			continue
+		}
+		info := node.Pkg.TypesInfo
+		units := []ast.Node{node.Decl}
+		for _, lit := range analysis.FuncLits(node.Decl) {
+			units = append(units, lit)
+		}
+		for _, unit := range units {
+			checkUnit(mp, cg, info, node, unit)
+		}
+	}
+	return nil
+}
+
+// joinFact is the backward must-set: join objects on every path to exit.
+type joinFact = map[*types.Var]bool
+
+func checkUnit(mp *analysis.ModulePass, cg *analysis.CallGraph, info *types.Info, node *analysis.CGNode, unit ast.Node) {
+	sites := analysis.SpawnSites(info, unit)
+	if len(sites) == 0 {
+		return
+	}
+	var cfg *analysis.CFG
+	if unit == ast.Node(node.Decl) {
+		cfg = mp.Module.CFGOf(node)
+	} else {
+		cfg = analysis.BuildCFG(unit)
+	}
+	lat := analysis.MustSetLattice(map[*types.Var]bool{}, func(b *analysis.Block, in joinFact) joinFact {
+		if in == nil {
+			return nil
+		}
+		out := analysis.CloneSet(in)
+		for _, n := range b.Nodes {
+			addJoins(info, n, out)
+		}
+		return out
+	})
+	res := analysis.Solve(cfg, analysis.Backward, lat)
+
+	for _, site := range sites {
+		signals, known := payloadSignals(cg, info, site)
+		joins := joinsAfter(info, cfg, res, site.Go)
+		if known && len(signals) == 0 {
+			mp.Report(site.Go.Pos(), "spawned goroutine signals no completion (no WaitGroup.Done, channel send, or close): it cannot be joined and its writes race the spawner")
+			continue
+		}
+		if joined(signals, known, joins) {
+			continue
+		}
+		mp.Report(site.Go.Pos(), "spawned goroutine is not joined on every path to return: no matching WaitGroup.Wait or channel receive follows the spawn")
+	}
+}
+
+// joined reports whether the payload's completion signals are matched by
+// the spawner's must-join set. signals containing nil means "signals
+// something unresolvable" — matched loosely by any join; unknown
+// payloads (known=false) likewise only require that something is joined.
+func joined(signals map[*types.Var]bool, known bool, joins joinFact) bool {
+	if joins == nil {
+		// Spawn point cannot reach exit (e.g. followed by select{}):
+		// nothing to join before a return that never happens.
+		return true
+	}
+	if !known || signals[nil] {
+		return len(joins) > 0
+	}
+	for s := range signals {
+		if joins[s] {
+			return true
+		}
+	}
+	return false
+}
+
+// joinsAfter computes the must-join fact immediately after the go
+// statement: the block's backward input (the fact at its end) plus the
+// joins of the block's own nodes positioned after the spawn.
+func joinsAfter(info *types.Info, cfg *analysis.CFG, res analysis.Result[joinFact], g *ast.GoStmt) joinFact {
+	b := cfg.BlockOf(g.Pos())
+	if b == nil {
+		return nil
+	}
+	fact := res.In[b]
+	if fact == nil {
+		return nil
+	}
+	out := analysis.CloneSet(fact)
+	for i := len(b.Nodes) - 1; i >= 0; i-- {
+		n := b.Nodes[i]
+		if n.Pos() <= g.Pos() && g.Pos() < n.End() {
+			break
+		}
+		addJoins(info, n, out)
+	}
+	return out
+}
+
+// addJoins folds n's join operations (Wait, channel receive) into s.
+// Defer statements are skipped at their registration point: their
+// effects run in the CFG's defer.run exit blocks.
+func addJoins(info *types.Info, n ast.Node, s joinFact) {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok {
+			if wg, op, ok := analysis.WaitGroupOp(info, call); ok && op == "Wait" {
+				s[wg] = true
+			}
+		}
+		if ch, op, ok := analysis.ChanOp(info, m); ok && op == "recv" && ch != nil {
+			s[ch] = true
+		}
+		return true
+	})
+}
+
+// payloadSignals collects the completion signals of a spawn payload: the
+// WaitGroup variables it Dones and the channel variables it sends on or
+// closes, at any depth of the payload body. known=false means the
+// payload could not be resolved. A nil key stands for a signal on an
+// unresolvable variable (e.g. a declared payload Done-ing its own
+// parameter) — matched loosely at the spawn.
+func payloadSignals(cg *analysis.CallGraph, info *types.Info, site analysis.SpawnSite) (map[*types.Var]bool, bool) {
+	var body ast.Node
+	sigInfo := info
+	switch {
+	case site.Lit != nil:
+		body = site.Lit.Body
+	case site.Callee != nil:
+		callee := cg.Node(site.Callee)
+		if callee == nil || callee.Decl == nil || callee.Decl.Body == nil {
+			return nil, false
+		}
+		body = callee.Decl.Body
+		sigInfo = callee.Pkg.TypesInfo
+	default:
+		return nil, false
+	}
+	signals := map[*types.Var]bool{}
+	ast.Inspect(body, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			if wg, op, ok := analysis.WaitGroupOp(sigInfo, call); ok && op == "Done" {
+				signals[signalKey(site, wg)] = true
+			}
+		}
+		if ch, op, ok := analysis.ChanOp(sigInfo, m); ok && (op == "send" || op == "close") {
+			signals[signalKey(site, ch)] = true
+		}
+		return true
+	})
+	return signals, true
+}
+
+// signalKey maps a signalled variable to the identity the spawner sees:
+// struct fields and package-level variables are shared objects and keep
+// their identity; a declared payload's locals and parameters are opaque
+// to the spawner and collapse to the loose nil key. For literal payloads
+// every captured variable is shared with the spawner, so identity is
+// kept as-is.
+func signalKey(site analysis.SpawnSite, v *types.Var) *types.Var {
+	if v == nil {
+		return nil
+	}
+	if site.Lit != nil || v.IsField() {
+		return v
+	}
+	if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+		return v // package-level variable
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package spawnsite_test
+
+import (
+	"testing"
+
+	"github.com/graphbig/graphbig-go/internal/analysis"
+	"github.com/graphbig/graphbig-go/internal/analysis/spawnsite"
+)
+
+// TestSpawnsite covers the join discipline: WaitGroup and channel joins
+// (clean), fire-and-forget payloads, missing/half/wrong joins, the
+// node-level Wait-before-spawn trap, method-value payloads with shared
+// field identity, and loosely matched declared payloads.
+func TestSpawnsite(t *testing.T) {
+	analysis.RunTest(t, spawnsite.Analyzer, "internal/engine")
+}

@@ -1,0 +1,158 @@
+// Package engine (fixture) exercises the spawnsite join discipline:
+// every spawned goroutine must signal completion and the spawner must
+// observe that signal on every path to return.
+package engine
+
+import "sync"
+
+type pool struct {
+	wg  sync.WaitGroup
+	out []int
+}
+
+// fanOut: the canonical clean pattern — spawn-in-loop, each worker
+// Dones the WaitGroup the spawner Waits on after the loop.
+func fanOut(n int) []int {
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = i * i
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// chanJoin: clean — the send is the completion signal, the receive on
+// the same channel is the join.
+func chanJoin() int {
+	ch := make(chan int)
+	go func() { ch <- 42 }()
+	return <-ch
+}
+
+// closeJoin: clean — close signals, range-receive joins.
+func closeJoin() int {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+		close(ch)
+	}()
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+// fireAndForget: the payload signals nothing at all — its write to log
+// can never be ordered before the caller's reads.
+func fireAndForget(log []int) {
+	go func() { // want "signals no completion"
+		log[0] = 1
+	}()
+}
+
+// neverJoined: the payload Dones a WaitGroup nobody Waits on.
+func neverJoined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "not joined on every path"
+		defer wg.Done()
+	}()
+}
+
+// halfJoined: Wait exists but only on one branch — some executions
+// return with the goroutine still running.
+func halfJoined(c bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "not joined on every path"
+		defer wg.Done()
+	}()
+	if c {
+		wg.Wait()
+	}
+}
+
+// wrongGroup: Waits, but on a different WaitGroup than the payload
+// signals.
+func wrongGroup() {
+	var a, b sync.WaitGroup
+	a.Add(1)
+	go func() { // want "not joined on every path"
+		defer a.Done()
+	}()
+	b.Wait()
+}
+
+// waitBeforeSpawn: the Wait textually precedes the go statement in the
+// same block, so it cannot join this spawn — node-level precision must
+// not credit it.
+func waitBeforeSpawn() {
+	var wg sync.WaitGroup
+	wg.Wait()
+	wg.Add(1)
+	go func() { // want "not joined on every path"
+		defer wg.Done()
+	}()
+}
+
+// worker Dones the pool's field WaitGroup; field identity is shared
+// between the payload and the spawner.
+func (p *pool) worker() {
+	defer p.wg.Done()
+}
+
+// methodValueJoined: clean — a method-value spawn whose field-WaitGroup
+// signal matches the spawner's field Wait.
+func (p *pool) methodValueJoined() {
+	p.wg.Add(1)
+	f := p.worker
+	go f()
+	p.wg.Wait()
+}
+
+// methodSpawnUnjoined: the same payload, but the spawner forgets Wait.
+func (p *pool) methodSpawnUnjoined() {
+	p.wg.Add(1)
+	go p.worker() // want "not joined on every path"
+}
+
+// helper Dones through its own pointer parameter — opaque to the
+// spawner, so the analyzer matches it loosely against any join.
+func helper(wg *sync.WaitGroup) {
+	defer wg.Done()
+}
+
+// looseMatch: clean — the declared payload's parameter Done is loosely
+// matched by the spawner's Wait.
+func looseMatch() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go helper(&wg)
+	wg.Wait()
+}
+
+// looseUnjoined: the same spawn with no join at all.
+func looseUnjoined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go helper(&wg) // want "not joined on every path"
+}
+
+// loopJoinInside: clean — spawn and join both inside the loop body;
+// every path from the spawn reaches the Wait before return.
+func loopJoinInside(rounds int) {
+	var wg sync.WaitGroup
+	for r := 0; r < rounds; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+		wg.Wait()
+	}
+}

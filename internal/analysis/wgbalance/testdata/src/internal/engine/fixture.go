@@ -1,0 +1,163 @@
+// Package engine (fixture) exercises the WaitGroup protocol rules:
+// Add dominates each spawn, Done on every payload exit path, and no
+// Add inside the spawned goroutine.
+package engine
+
+import "sync"
+
+type pool struct {
+	wg  sync.WaitGroup
+	out []int
+}
+
+// fanOut: clean — Add(1) immediately before each spawn, deferred Done,
+// Wait after the loop.
+func fanOut(n int) []int {
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = i
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// addN: clean — one Add(n) before the loop covers all n spawns; the
+// armed fact survives the back edge because spawning does not consume
+// it.
+func addN(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// reuse: clean — sequential Wait-then-Add reuse across rounds re-arms
+// the group before each new spawn wave.
+func reuse(rounds int) {
+	var wg sync.WaitGroup
+	for r := 0; r < rounds; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+		wg.Wait()
+	}
+}
+
+// deferredDoneSurvivesPanic: clean — the deferred Done runs on the
+// explicit panic path too.
+func deferredDoneSurvivesPanic(bad bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if bad {
+			panic("invariant")
+		}
+	}()
+	wg.Wait()
+}
+
+// noAdd: the payload Dones but nothing ever armed the group — the
+// counter goes negative (a runtime panic) on the lucky schedules and
+// lets Wait pass early on the rest.
+func noAdd() {
+	var wg sync.WaitGroup
+	go func() { // want "not armed on every path"
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// condAdd: Add happens on only one branch; the must-analysis rejects
+// the join.
+func condAdd(c bool) {
+	var wg sync.WaitGroup
+	if c {
+		wg.Add(1)
+	}
+	go func() { // want "not armed on every path"
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// spawnAfterWait: the second wave spawns after Wait consumed the only
+// Add — a counter underflow waiting to happen.
+func spawnAfterWait() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+	go func() { // want "not armed on every path"
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// earlyReturnSkipsDone: the un-deferred Done is skipped by the early
+// return, deadlocking the Wait.
+func earlyReturnSkipsDone(skip bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "may exit without calling wg.Done"
+		if skip {
+			return
+		}
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+// panicSkipsDone: the explicit panic path bypasses the trailing Done.
+func panicSkipsDone(bad bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "may exit without calling wg.Done"
+		if bad {
+			panic("invariant")
+		}
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+// addInside: the classic misuse — the goroutine's own Add races the
+// spawner's Wait. The spawn is also unarmed, so both rules fire.
+func addInside() {
+	var wg sync.WaitGroup
+	go func() { // want "not armed on every path"
+		wg.Add(1) // want "races wg.Wait"
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// badWorker skips the field Done when there is nothing to flush; the
+// report lands on the declaration because the payload is a declared
+// method.
+func (p *pool) badWorker() { // want "may exit without calling wg.Done"
+	if len(p.out) == 0 {
+		return
+	}
+	p.wg.Done()
+}
+
+// spawnBad: the spawn driving badWorker's check; Add/Wait themselves
+// are fine here.
+func (p *pool) spawnBad() {
+	p.wg.Add(1)
+	go p.badWorker()
+	p.wg.Wait()
+}

@@ -1,0 +1,308 @@
+// Package wgbalance checks the sync.WaitGroup protocol around every
+// spawn site in the concurrency-bearing packages. Three rules, all
+// consequences of WaitGroup's documented contract ("calls with a
+// positive delta must happen before the Wait", "Done must be called
+// exactly once per Add(1)"):
+//
+//  1. Add dominates the spawn: at every go statement whose payload
+//     calls wg.Done, an Add on that WaitGroup must have executed on
+//     EVERY path from function entry to the spawn and must not have
+//     been consumed by an intervening Wait. A spawn whose Add is
+//     conditional (or missing, or already Waited away) can drive the
+//     counter negative or let Wait return while the goroutine runs —
+//     both real crashes or races, both invisible to -race on lucky
+//     schedules. This is a forward must-dataflow: the fact is the set
+//     of "armed" WaitGroups (Add on every path, no Wait since).
+//
+//  2. Done on every exit: the payload must call wg.Done on every path
+//     from its entry to its exit, including early returns and panic
+//     paths (the CFG routes explicit panics through the defer.run
+//     chain, so `defer wg.Done()` satisfies this everywhere; a plain
+//     trailing Done does not survive an early return). A skipped Done
+//     deadlocks the Wait. This is a backward must-dataflow over the
+//     payload's own CFG.
+//
+//  3. No Add inside the spawned goroutine: an Add racing the spawner's
+//     Wait is the canonical WaitGroup misuse — if Wait observes the
+//     counter at zero before the goroutine's Add lands, it returns
+//     early. Adds belong on the spawning side, before the go statement.
+//
+// Sequential reuse (Wait, then Add, then a new spawn wave) is legal and
+// deliberately not flagged: rule 1's must-set is re-armed by the new
+// Add. The fork-join combinators in internal/concurrent pass all three
+// rules on their own merits — no special casing.
+package wgbalance
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/graphbig/graphbig-go/internal/analysis"
+)
+
+// Analyzer is the wgbalance module analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:      "wgbalance",
+	Doc:       "WaitGroup protocol: Add dominates each spawn, Done on every goroutine exit path, no Add inside the spawned goroutine",
+	RunModule: run,
+}
+
+var scope = []string{
+	"internal/engine",
+	"internal/concurrent",
+	"internal/property",
+	"internal/workloads",
+}
+
+func run(mp *analysis.ModulePass) error {
+	m := mp.Module
+	cg := m.CallGraph()
+	for _, node := range cg.Declared() {
+		if node.Pkg == nil || !analysis.HasPathSuffix(node.Pkg.PkgPath, scope...) {
+			continue
+		}
+		info := node.Pkg.TypesInfo
+		units := []ast.Node{node.Decl}
+		for _, lit := range analysis.FuncLits(node.Decl) {
+			units = append(units, lit)
+		}
+		for _, unit := range units {
+			checkUnit(mp, cg, info, node, unit)
+		}
+	}
+	return nil
+}
+
+type wgFact = map[*types.Var]bool
+
+func checkUnit(mp *analysis.ModulePass, cg *analysis.CallGraph, info *types.Info, node *analysis.CGNode, unit ast.Node) {
+	sites := analysis.SpawnSites(info, unit)
+	if len(sites) == 0 {
+		return
+	}
+	var cfg *analysis.CFG
+	if unit == ast.Node(node.Decl) {
+		cfg = mp.Module.CFGOf(node)
+	} else {
+		cfg = analysis.BuildCFG(unit)
+	}
+	// Rule 1's forward must-analysis: armed WaitGroups.
+	lat := analysis.MustSetLattice(map[*types.Var]bool{}, func(b *analysis.Block, in wgFact) wgFact {
+		if in == nil {
+			return nil
+		}
+		out := analysis.CloneSet(in)
+		for _, n := range b.Nodes {
+			applyArm(info, n, out)
+		}
+		return out
+	})
+	res := analysis.Solve(cfg, analysis.Forward, lat)
+
+	spawnerWaits := waitsIn(info, unit)
+	for _, site := range sites {
+		body, bodyInfo := payloadBody(cg, info, site)
+		if body == nil {
+			continue
+		}
+		dones := donesIn(bodyInfo, body)
+
+		// Rule 3: Add inside the payload.
+		reportInnerAdds(mp, bodyInfo, body, dones, spawnerWaits)
+
+		if len(dones) == 0 {
+			continue // nothing to balance; spawnsite owns the join story
+		}
+
+		// Rule 1: every Done'd WaitGroup must be armed at the spawn.
+		armed := armedBefore(info, cfg, res, site.Go)
+		for _, wg := range sortedVars(dones) {
+			if !shared(site, wg) {
+				continue // a declared payload's own local/param: opaque here
+			}
+			if armed != nil && !armed[wg] {
+				mp.Report(site.Go.Pos(), "goroutine calls %s.Done but %s.Add is not armed on every path to this spawn (Add must precede the go statement and not be consumed by Wait)", wg.Name(), wg.Name())
+			}
+		}
+
+		// Rule 2: Done on every exit path of the payload.
+		pcfg := analysis.BuildCFG(body.node)
+		dlat := analysis.MustSetLattice(map[*types.Var]bool{}, func(b *analysis.Block, in wgFact) wgFact {
+			if in == nil {
+				return nil
+			}
+			out := analysis.CloneSet(in)
+			for _, n := range b.Nodes {
+				addDones(bodyInfo, n, out)
+			}
+			return out
+		})
+		dres := analysis.Solve(pcfg, analysis.Backward, dlat)
+		atEntry := dres.Out[pcfg.Entry]
+		for _, wg := range sortedVars(dones) {
+			if atEntry != nil && !atEntry[wg] {
+				mp.Report(body.node.Pos(), "spawned goroutine may exit without calling %s.Done: a return or panic path skips it (defer the Done as the first statement)", wg.Name())
+			}
+		}
+	}
+}
+
+// payloadFn wraps the payload's function node so callers get both the
+// walkable body and the CFG-buildable node.
+type payloadFn struct {
+	node ast.Node // *ast.FuncLit or *ast.FuncDecl
+	body *ast.BlockStmt
+}
+
+func payloadBody(cg *analysis.CallGraph, spawnerInfo *types.Info, site analysis.SpawnSite) (*payloadFn, *types.Info) {
+	if site.Lit != nil {
+		return &payloadFn{node: site.Lit, body: site.Lit.Body}, spawnerInfo
+	}
+	if site.Callee != nil {
+		n := cg.Node(site.Callee)
+		if n != nil && n.Decl != nil && n.Decl.Body != nil {
+			return &payloadFn{node: n.Decl, body: n.Decl.Body}, n.Pkg.TypesInfo
+		}
+	}
+	return nil, nil
+}
+
+// shared reports whether wg's identity is visible to the spawner: every
+// variable of a literal payload (captures, fields), but only fields and
+// package-level variables of a declared payload.
+func shared(site analysis.SpawnSite, wg *types.Var) bool {
+	if site.Lit != nil || wg.IsField() {
+		return true
+	}
+	return wg.Parent() != nil && wg.Parent().Parent() == types.Universe
+}
+
+// applyArm folds one node's Add/Wait effects into the armed set.
+func applyArm(info *types.Info, n ast.Node, s wgFact) {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if wg, op, ok := analysis.WaitGroupOp(info, call); ok {
+			switch op {
+			case "Add":
+				s[wg] = true
+			case "Wait":
+				delete(s, wg)
+			}
+		}
+		return true
+	})
+}
+
+// armedBefore refines the block fact to the program point just before
+// the go statement.
+func armedBefore(info *types.Info, cfg *analysis.CFG, res analysis.Result[wgFact], g *ast.GoStmt) wgFact {
+	b := cfg.BlockOf(g.Pos())
+	if b == nil {
+		return nil
+	}
+	fact := res.In[b]
+	if fact == nil {
+		return nil
+	}
+	out := analysis.CloneSet(fact)
+	for _, n := range b.Nodes {
+		if n.Pos() <= g.Pos() && g.Pos() < n.End() {
+			break
+		}
+		applyArm(info, n, out)
+	}
+	return out
+}
+
+func addDones(info *types.Info, n ast.Node, s wgFact) {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok {
+			if wg, op, ok := analysis.WaitGroupOp(info, call); ok && op == "Done" {
+				s[wg] = true
+			}
+		}
+		return true
+	})
+}
+
+// donesIn collects the WaitGroups Done'd anywhere in the payload,
+// including inside defers (they run on exit) but not nested literals.
+func donesIn(info *types.Info, p *payloadFn) wgFact {
+	dones := wgFact{}
+	ast.Inspect(p.body, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok {
+			if wg, op, ok := analysis.WaitGroupOp(info, call); ok && op == "Done" {
+				dones[wg] = true
+			}
+		}
+		return true
+	})
+	return dones
+}
+
+// waitsIn collects the WaitGroups the unit Waits on anywhere.
+func waitsIn(info *types.Info, unit ast.Node) wgFact {
+	waits := wgFact{}
+	analysis.InspectUnit(unit, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			if wg, op, ok := analysis.WaitGroupOp(info, call); ok && op == "Wait" {
+				waits[wg] = true
+			}
+		}
+		return true
+	})
+	return waits
+}
+
+// reportInnerAdds flags Adds inside the payload on a WaitGroup the
+// spawner waits for (or the payload itself balances with Done) — the
+// Add-races-Wait misuse.
+func reportInnerAdds(mp *analysis.ModulePass, info *types.Info, p *payloadFn, dones, spawnerWaits wgFact) {
+	ast.Inspect(p.body, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if wg, op, ok := analysis.WaitGroupOp(info, call); ok && op == "Add" {
+			if dones[wg] || spawnerWaits[wg] {
+				mp.Report(call.Pos(), "%s.Add inside the spawned goroutine races %s.Wait: hoist the Add before the go statement", wg.Name(), wg.Name())
+			}
+		}
+		return true
+	})
+}
+
+func sortedVars(s wgFact) []*types.Var {
+	var out []*types.Var
+	for v := range s {
+		out = append(out, v)
+	}
+	// Deterministic report order: by source position.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Pos() < out[j-1].Pos(); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,18 @@
+package wgbalance_test
+
+import (
+	"testing"
+
+	"github.com/graphbig/graphbig-go/internal/analysis"
+	"github.com/graphbig/graphbig-go/internal/analysis/wgbalance"
+)
+
+// TestWGBalance covers the three protocol rules with their clean
+// counterparts: Add-dominates-spawn (loop Add(1), hoisted Add(n),
+// sequential reuse vs. missing/conditional/consumed Adds), Done on
+// every exit path (deferred Done through panic vs. early-return and
+// panic skips, including a declared method payload), and the
+// Add-inside-goroutine race.
+func TestWGBalance(t *testing.T) {
+	analysis.RunTest(t, wgbalance.Analyzer, "internal/engine")
+}

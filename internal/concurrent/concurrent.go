@@ -304,6 +304,38 @@ func (m *Mailboxes[T]) Drain(dst int32, fn func(msg T)) int {
 	return n
 }
 
+// Validate checks the structural invariants of the exchange buffer:
+// the box matrix must be exactly k x k with k > 0, and when
+// requireEmpty is set every box must have been drained — the state the
+// buffer must be in between traversals (a non-empty box there means an
+// exchange window closed without its apply phase running). It is a
+// debug assertion for tests and engine teardown paths.
+//
+// The row-writer/column-reader phase contract itself — Put only from
+// partition src during a superstep, Drain only from partition dst after
+// the barrier, never concurrently — is not observable from inside the
+// type: the whole point of the design is that there is no
+// synchronization state to witness. That contract is enforced
+// statically by the phasediscipline analyzer in cmd/graphbig-vet, which
+// checks that Put and Drain calls sit in distinct barrier-separated
+// phases of the caller (DESIGN.md §7).
+func (m *Mailboxes[T]) Validate(requireEmpty bool) error {
+	if m.k <= 0 {
+		return fmt.Errorf("concurrent: Mailboxes has non-positive partition count %d", m.k)
+	}
+	if len(m.box) != m.k*m.k {
+		return fmt.Errorf("concurrent: Mailboxes has %d boxes for k=%d, want %d", len(m.box), m.k, m.k*m.k)
+	}
+	if requireEmpty {
+		for i, b := range m.box {
+			if len(b) != 0 {
+				return fmt.Errorf("concurrent: Mailboxes box %d->%d holds %d undrained message(s)", i/m.k, i%m.k, len(b))
+			}
+		}
+	}
+	return nil
+}
+
 // Pending reports the total queued messages (call only between phases).
 func (m *Mailboxes[T]) Pending() int64 {
 	var n int64

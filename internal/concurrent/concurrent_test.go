@@ -290,3 +290,36 @@ func TestMailboxesRowColumnDiscipline(t *testing.T) {
 		t.Fatal("reuse after drain failed")
 	}
 }
+
+// TestMailboxesValidate exercises the debug assertion: a fresh buffer
+// validates in both modes, an undrained box fails only the
+// requireEmpty (between-traversals) mode naming the src->dst pair, and
+// a structurally corrupted matrix fails unconditionally.
+func TestMailboxesValidate(t *testing.T) {
+	m := NewMailboxes[int32](3)
+	if err := m.Validate(true); err != nil {
+		t.Fatalf("fresh buffer: %v", err)
+	}
+	m.Put(1, 2, 42)
+	if err := m.Validate(false); err != nil {
+		t.Fatalf("structural check with pending message: %v", err)
+	}
+	err := m.Validate(true)
+	if err == nil {
+		t.Fatal("requireEmpty missed an undrained box")
+	}
+	if want := "1->2"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not name the box %s", err, want)
+	}
+	m.Drain(2, func(int32) {})
+	if err := m.Validate(true); err != nil {
+		t.Fatalf("after drain: %v", err)
+	}
+	m.box = m.box[:4]
+	if m.Validate(false) == nil {
+		t.Error("truncated box matrix passed validation")
+	}
+	if NewMailboxes[int32](0).Validate(false) == nil {
+		t.Error("k=0 buffer passed validation")
+	}
+}

@@ -42,10 +42,15 @@ type partState struct {
 	// mark/inFr are per-vertex epoch stamps (single writer: the owning
 	// partition), replacing O(n) clears: mark tracks dirty-list
 	// membership for the current exchange window, inFr tracks pull-round
-	// frontier membership. stamp is the shared monotone counter.
-	mark  []int64
-	inFr  []int64
-	stamp int64
+	// frontier membership. stamp backs the exchange-window counter and is
+	// only advanced between parallel phases; pull rounds inside the
+	// concurrent localTraverse use frStamp[p] instead — inFr[u] is owned
+	// by u's partition, so per-partition counters stay collision-free
+	// without sharing a counter across workers.
+	mark    []int64
+	inFr    []int64
+	stamp   int64
+	frStamp []int64
 
 	dirtyStamp  int64   // stamp of the open exchange window
 	localPush   []int64 // per-partition push-round counters (one superstep)
@@ -70,6 +75,7 @@ func (e *Engine) partitioned() *partState {
 			claimed:     make([][]int32, k),
 			mark:        make([]int64, e.n),
 			inFr:        make([]int64, e.n),
+			frStamp:     make([]int64, k),
 			localPush:   make([]int64, k),
 			localPull:   make([]int64, k),
 			localApply:  make([]int64, k),
@@ -145,7 +151,7 @@ func (e *Engine) partitionedTraverse(spec *Spec, cur *concurrent.Frontier, st *S
 			var got int64
 			ps.mail.Drain(q, func(m bmsg) {
 				if dv := dist[m.v]; dv < 0 || m.d < dv {
-					e.claimPart(ps, spec, q, m.v, m.d)
+					e.claimPart(ps, spec, q, m.v, m.d) //vet:sharedwrite Drain(q) delivers only partition q's mailbox column, so m.v is owned by q; pinned by TestPartitionedMatchesFlat
 					ps.fr[q] = append(ps.fr[q], m.v)
 					got++
 				}
@@ -228,9 +234,10 @@ func (e *Engine) localTraverse(ps *partState, spec *Spec, p int32) {
 		if !spec.NoPull && scout > edgesLeft/Alpha {
 			// Pull rounds: stamp the frontier, sweep the owned range.
 			for {
-				fs := ps.nextStamp()
+				ps.frStamp[p]++
+				fs := ps.frStamp[p]
 				for _, u := range cur {
-					ps.inFr[u] = fs
+					ps.inFr[u] = fs //vet:sharedwrite cur is partition p's own frontier, so every u is p-owned; pinned by TestPartitionedMatchesFlat under -race
 				}
 				next = next[:0]
 				for v := lo; v < hi; v++ {

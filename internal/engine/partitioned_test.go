@@ -82,6 +82,11 @@ func TestPartitionedMatchesFlat(t *testing.T) {
 			if k == 1 && gst.BoundarySent != 0 {
 				t.Errorf("n=%d k=1: BoundarySent = %d, want 0", n, gst.BoundarySent)
 			}
+			// Between traversals every exchange box must be drained —
+			// the Mailboxes debug assertion backing the phase contract.
+			if err := e.prt.mail.Validate(true); err != nil {
+				t.Errorf("n=%d k=%d: %v", n, k, err)
+			}
 		}
 	}
 }

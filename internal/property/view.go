@@ -293,7 +293,7 @@ func (vw *View) resolve(directed bool, workers int) {
 			})
 			concurrent.ParallelRange(n, workers, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
-					lut[vw.Verts[i].ID] = Index32(i)
+					lut[vw.Verts[i].ID] = Index32(i) //vet:sharedwrite Verts IDs are strictly ascending, so distinct i map to distinct lut slots; pinned by TestViewParallelMatchesReference
 				}
 			})
 		}
@@ -334,8 +334,8 @@ func (vw *View) resolve(directed bool, workers int) {
 			out := vw.Verts[i].Out
 			for k := range out {
 				if j := indexOf(out[k].To); j >= 0 {
-					nbr[p] = j
-					wts[p] = out[k].Weight
+					nbr[p] = j //vet:sharedwrite p sweeps [off[i], off[i+1]), disjoint across i by prefixSum32; pinned by TestViewParallelMatchesReference
+					wts[p] = out[k].Weight //vet:sharedwrite same off-window argument as the nbr write above
 					p++
 				}
 			}
@@ -436,7 +436,7 @@ func reverseCSR(n int, off, nbr []int32, workers int) (inOff, inNbr []int32) {
 			var run int32
 			for wi := 0; wi < w; wi++ {
 				c := hist[wi*n+j]
-				hist[wi*n+j] = run
+				hist[wi*n+j] = run //vet:sharedwrite the j windows are worker-disjoint, so rows wi*n+j never collide; pinned by TestReverseCSRParallelMatchesSerial
 				run += c
 			}
 			inOff[j+1] = run
@@ -452,7 +452,7 @@ func reverseCSR(n int, off, nbr []int32, workers int) (inOff, inNbr []int32) {
 			for i := bounds[wi]; i < bounds[wi+1]; i++ {
 				for k := off[i]; k < off[i+1]; k++ {
 					j := nbr[k]
-					inNbr[inOff[j]+h[j]] = Index32(i)
+					inNbr[inOff[j]+h[j]] = Index32(i) //vet:sharedwrite the column scan gave each worker an exclusive slot range per bucket j; pinned by TestReverseCSRParallelMatchesSerial
 					h[j]++
 				}
 			}
@@ -521,8 +521,8 @@ func (vw *View) applyOrder(perm []int32, directed bool, workers int) {
 			o := perm[i]
 			s, d := oldOff[o], off[i]
 			for k := int32(0); k < off[i+1]-d; k++ {
-				nbr[d+k] = inv[oldNbr[s+k]]
-				wts[d+k] = oldWts[s+k]
+				nbr[d+k] = inv[oldNbr[s+k]] //vet:sharedwrite d+k sweeps [off[i], off[i+1]), disjoint across i by prefixSum32; pinned by TestViewOrderComposition
+				wts[d+k] = oldWts[s+k] //vet:sharedwrite same off-window argument as the nbr write above
 			}
 		}
 	})

@@ -74,7 +74,7 @@ func GColor(g *property.Graph, opt Options) (*Result, error) {
 					break
 				}
 			}
-			win[vi] = isMax
+			win[vi] = isMax //vet:sharedwrite work holds each uncolored vertex at most once, so vi is distinct across items; pinned by TestQuickGColorProper
 		})
 		// Phase 2: winners (an independent set) take the smallest color
 		// absent from their colored neighborhood.
@@ -120,7 +120,7 @@ func GColor(g *property.Graph, opt Options) (*Result, error) {
 					}
 				}
 			}
-			colors[vi] = c
+			colors[vi] = c //vet:sharedwrite work holds each uncolored vertex at most once, so vi is distinct across items; pinned by TestQuickGColorProper
 			for {
 				m := maxColorA.Load()
 				if c <= m || maxColorA.CompareAndSwap(m, c) {
