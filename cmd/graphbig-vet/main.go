@@ -7,34 +7,55 @@
 // The suite has two layers: per-package analyzers (determinism,
 // trackedprim, hotloop, atomichygiene) and module analyzers (escape,
 // lockset, purity, boundscheck, overflowconv, divmod, spawnsite,
-// wgbalance, phasediscipline, sharedwrite) that build a call graph over
-// every loaded package and reason across function and package
-// boundaries — boundscheck, overflowconv, and divmod on top of a shared
-// value-range abstract interpretation, and the last four on the
+// wgbalance, phasediscipline, sharedwrite, immutview, aliasleak) that
+// build a call graph over every loaded package and reason across
+// function and package boundaries — boundscheck, overflowconv, and
+// divmod on top of a shared value-range abstract interpretation;
+// spawnsite, wgbalance, phasediscipline, and sharedwrite on the
 // goroutine-topology layer (spawn sites, WaitGroup/channel
 // happens-before edges, superstep phase tokens, write-disjointness
-// proofs) (DESIGN.md §7). With -json, findings are emitted as a
-// JSON array of {file,line,col,analyzer,message} records instead of
-// text — the format CI uploads as annotations. With -debug=ranges, the
-// range-based analyzers append the inferred interval to each finding.
+// proofs); and immutview and aliasleak on the Andersen points-to layer
+// (View immutability after publication, scratch-buffer alias hygiene)
+// (DESIGN.md §7).
+//
+// Flags:
+//
+//	-run a,b,...    run only the named analyzers (default: the full suite)
+//	-waivers        audit //vet:* directives instead of reporting findings:
+//	                print the inventory (analyzer, file:line, justification,
+//	                used) and exit 1 if any directive is stale (suppressed
+//	                nothing this run), names no analyzer in the run set, or
+//	                lacks a justification
+//	-timings        print per-analyzer wall-clock to stderr after the run
+//	-budget d       fail (exit 1) if total analyzer wall-clock exceeds the
+//	                duration d (e.g. 120s) — the CI time ratchet
+//	-json           emit the findings (or, with -waivers, the inventory) as
+//	                JSON instead of text
+//	-debug=ranges   append inferred intervals to range-analyzer findings
 //
 // Exit status is 0 when the tree is clean, 1 when any analyzer reports a
-// finding, 2 on internal failure (package loading or type errors). See
+// finding (or the waiver audit or time budget fails), 2 on internal
+// failure (package loading, type errors, unknown flag values). See
 // DESIGN.md §7 for what each analyzer protects.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"github.com/graphbig/graphbig-go/internal/analysis"
+	"github.com/graphbig/graphbig-go/internal/analysis/aliasleak"
 	"github.com/graphbig/graphbig-go/internal/analysis/atomichygiene"
 	"github.com/graphbig/graphbig-go/internal/analysis/boundscheck"
 	"github.com/graphbig/graphbig-go/internal/analysis/determinism"
 	"github.com/graphbig/graphbig-go/internal/analysis/divmod"
 	"github.com/graphbig/graphbig-go/internal/analysis/escape"
 	"github.com/graphbig/graphbig-go/internal/analysis/hotloop"
+	"github.com/graphbig/graphbig-go/internal/analysis/immutview"
 	"github.com/graphbig/graphbig-go/internal/analysis/lockset"
 	"github.com/graphbig/graphbig-go/internal/analysis/overflowconv"
 	"github.com/graphbig/graphbig-go/internal/analysis/phasediscipline"
@@ -63,14 +84,92 @@ func Analyzers() []*analysis.Analyzer {
 		wgbalance.Analyzer,
 		phasediscipline.Analyzer,
 		sharedwrite.Analyzer,
+		immutview.Analyzer,
+		aliasleak.Analyzer,
 	}
 }
 
+// selectAnalyzers filters the suite by a comma-separated -run list,
+// preserving suite order. An empty list selects everything; an unknown
+// name is an error naming the valid choices.
+func selectAnalyzers(runList string) ([]*analysis.Analyzer, error) {
+	all := Analyzers()
+	if runList == "" {
+		return all, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	var names []string
+	for _, a := range all {
+		byName[a.Name] = a
+		names = append(names, a.Name)
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(runList, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if byName[name] == nil {
+			return nil, fmt.Errorf("unknown analyzer %q (choose from %s)", name, strings.Join(names, ", "))
+		}
+		want[name] = true
+	}
+	if len(want) == 0 {
+		return nil, fmt.Errorf("-run selected no analyzers")
+	}
+	var sel []*analysis.Analyzer
+	for _, a := range all {
+		if want[a.Name] {
+			sel = append(sel, a)
+		}
+	}
+	return sel, nil
+}
+
+// reportWaivers writes the inventory and returns the number of
+// directives that fail the audit: stale, unknown-analyzer, or
+// justification-free.
+func reportWaivers(w io.Writer, recs []analysis.WaiverRecord, jsonOut bool) (int, error) {
+	bad := 0
+	for _, r := range recs {
+		if r.Stale || r.Justification == "" {
+			bad++
+		}
+	}
+	if jsonOut {
+		if recs == nil {
+			recs = []analysis.WaiverRecord{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return bad, enc.Encode(recs)
+	}
+	for _, r := range recs {
+		status := "used"
+		switch {
+		case r.Unknown:
+			status = "UNKNOWN ANALYZER"
+		case r.Stale:
+			status = "STALE"
+		}
+		just := r.Justification
+		if just == "" {
+			just = "(NO JUSTIFICATION)"
+		}
+		fmt.Fprintf(w, "%s:%d: vet:%s [%s] %s\n", r.File, r.Line, r.Analyzer, status, just)
+	}
+	return bad, nil
+}
+
 func main() {
-	jsonOut := flag.Bool("json", false, "emit findings as a JSON array of {file,line,col,analyzer,message}")
+	jsonOut := flag.Bool("json", false, "emit findings (or the -waivers inventory) as JSON")
 	debug := flag.String("debug", "", "debug mode: 'ranges' appends inferred value ranges to range-analyzer findings")
+	runList := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	waivers := flag.Bool("waivers", false, "audit //vet:* directives: print the inventory, fail on stale or unjustified ones")
+	timings := flag.Bool("timings", false, "print per-analyzer wall-clock to stderr")
+	budget := flag.Duration("budget", 0, "fail if total analyzer wall-clock exceeds this duration (0 = no limit)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: graphbig-vet [-json] [-debug=ranges] [packages]\n\nanalyzers:\n%s", analysis.Doc(Analyzers()))
+		fmt.Fprintf(os.Stderr, "usage: graphbig-vet [-run a,b,...] [-waivers] [-timings] [-budget 120s] [-json] [-debug=ranges] [packages]\n\nanalyzers:\n%s", analysis.Doc(Analyzers()))
 	}
 	flag.Parse()
 	switch *debug {
@@ -81,17 +180,64 @@ func main() {
 		fmt.Fprintf(os.Stderr, "graphbig-vet: unknown -debug mode %q (supported: ranges)\n", *debug)
 		os.Exit(2)
 	}
-	vet := analysis.Vet
-	if *jsonOut {
-		vet = analysis.VetJSON
-	}
-	n, err := vet(os.Stdout, Analyzers(), flag.Args()...)
+	selected, err := selectAnalyzers(*runList)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "graphbig-vet:", err)
 		os.Exit(2)
 	}
-	if n > 0 {
-		fmt.Fprintf(os.Stderr, "graphbig-vet: %d finding(s)\n", n)
+	res, err := analysis.VetAll(selected, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphbig-vet:", err)
+		os.Exit(2)
+	}
+	total := 0.0
+	for _, t := range res.Timings {
+		total += t.Seconds
+	}
+	if *timings {
+		for _, t := range res.Timings {
+			fmt.Fprintf(os.Stderr, "graphbig-vet: %-16s %8.3fs\n", t.Analyzer, t.Seconds)
+		}
+		fmt.Fprintf(os.Stderr, "graphbig-vet: %-16s %8.3fs\n", "total", total)
+	}
+	fail := false
+	if *waivers {
+		bad, err := reportWaivers(os.Stdout, res.Waivers, *jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graphbig-vet:", err)
+			os.Exit(2)
+		}
+		if bad > 0 {
+			fmt.Fprintf(os.Stderr, "graphbig-vet: %d waiver(s) are stale, unknown, or unjustified\n", bad)
+			fail = true
+		}
+	} else {
+		if *jsonOut {
+			finds := res.Findings
+			if finds == nil {
+				finds = []analysis.Finding{}
+			}
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(finds); err != nil {
+				fmt.Fprintln(os.Stderr, "graphbig-vet:", err)
+				os.Exit(2)
+			}
+		} else {
+			for _, f := range res.Findings {
+				fmt.Fprintf(os.Stdout, "%s:%d:%d: %s [%s]\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+			}
+		}
+		if n := len(res.Findings); n > 0 {
+			fmt.Fprintf(os.Stderr, "graphbig-vet: %d finding(s)\n", n)
+			fail = true
+		}
+	}
+	if *budget > 0 && total > budget.Seconds() {
+		fmt.Fprintf(os.Stderr, "graphbig-vet: analyzer wall-clock %.1fs exceeds budget %s\n", total, *budget)
+		fail = true
+	}
+	if fail {
 		os.Exit(1)
 	}
 }

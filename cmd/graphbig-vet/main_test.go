@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"strings"
 	"testing"
 
 	"github.com/graphbig/graphbig-go/internal/analysis"
@@ -12,7 +13,7 @@ import (
 // multichecker with documentation and a runner (per-package or module).
 func TestAnalyzersRegistered(t *testing.T) {
 	as := Analyzers()
-	want := []string{"determinism", "trackedprim", "hotloop", "atomichygiene", "escape", "lockset", "purity", "boundscheck", "overflowconv", "divmod", "spawnsite", "wgbalance", "phasediscipline", "sharedwrite"}
+	want := []string{"determinism", "trackedprim", "hotloop", "atomichygiene", "escape", "lockset", "purity", "boundscheck", "overflowconv", "divmod", "spawnsite", "wgbalance", "phasediscipline", "sharedwrite", "immutview", "aliasleak"}
 	if len(as) != len(want) {
 		t.Fatalf("Analyzers() = %d analyzers, want %d", len(as), len(want))
 	}
@@ -20,6 +21,7 @@ func TestAnalyzersRegistered(t *testing.T) {
 		"escape": true, "lockset": true, "purity": true,
 		"boundscheck": true, "overflowconv": true, "divmod": true,
 		"spawnsite": true, "wgbalance": true, "phasediscipline": true, "sharedwrite": true,
+		"immutview": true, "aliasleak": true,
 	}
 	for i, a := range as {
 		if a.Name != want[i] {
@@ -54,6 +56,110 @@ func TestVetCleanPackage(t *testing.T) {
 	}
 	if out.Len() != 0 {
 		t.Fatalf("Vet wrote output with zero findings:\n%s", out.String())
+	}
+}
+
+// TestSelectAnalyzers covers the -run filter: an empty list selects the
+// whole suite, a subset comes back in suite order regardless of the
+// flag's order, whitespace and duplicates are tolerated, and an unknown
+// name is rejected with the valid choices.
+func TestSelectAnalyzers(t *testing.T) {
+	all, err := selectAnalyzers("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(Analyzers()) {
+		t.Fatalf("empty -run selected %d analyzers, want %d", len(all), len(Analyzers()))
+	}
+
+	sel, err := selectAnalyzers("aliasleak, sharedwrite ,immutview,sharedwrite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]string, len(sel))
+	for i, a := range sel {
+		got[i] = a.Name
+	}
+	want := []string{"sharedwrite", "immutview", "aliasleak"}
+	if len(got) != len(want) {
+		t.Fatalf("selectAnalyzers = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("selectAnalyzers = %v, want %v (suite order)", got, want)
+		}
+	}
+
+	if _, err := selectAnalyzers("sharedwrte"); err == nil {
+		t.Fatal("selectAnalyzers accepted an unknown analyzer name")
+	} else if !strings.Contains(err.Error(), "sharedwrte") || !strings.Contains(err.Error(), "sharedwrite") {
+		t.Fatalf("unknown-analyzer error should name the typo and the choices: %v", err)
+	}
+
+	if _, err := selectAnalyzers(" , "); err == nil {
+		t.Fatal("selectAnalyzers accepted a list selecting nothing")
+	}
+}
+
+// TestVetRunFilterTimings: VetAll with a -run subset reports one timing
+// entry per selected analyzer and no findings on a clean package.
+func TestVetRunFilterTimings(t *testing.T) {
+	sel, err := selectAnalyzers("determinism,hotloop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analysis.VetAll(sel, "./internal/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) != 0 {
+		t.Fatalf("VetAll on a clean package reported %d finding(s)", len(res.Findings))
+	}
+	if len(res.Timings) != 2 || res.Timings[0].Analyzer != "determinism" || res.Timings[1].Analyzer != "hotloop" {
+		t.Fatalf("VetAll timings = %+v, want one entry per selected analyzer in order", res.Timings)
+	}
+	for _, tm := range res.Timings {
+		if tm.Seconds < 0 {
+			t.Fatalf("negative wall-clock for %s", tm.Analyzer)
+		}
+	}
+}
+
+// TestReportWaivers pins the audit's failure counting and both output
+// modes: a used+justified record passes; stale, unknown, and
+// justification-free records each count against the tree.
+func TestReportWaivers(t *testing.T) {
+	recs := []analysis.WaiverRecord{
+		{Analyzer: "sharedwrite", File: "a.go", Line: 3, Justification: "pinned by TestX", Used: true},
+		{Analyzer: "sharedwrite", File: "a.go", Line: 9, Justification: "obsolete", Stale: true},
+		{Analyzer: "sharedwrte", File: "b.go", Line: 4, Justification: "typo", Stale: true, Unknown: true},
+		{Analyzer: "immutview", File: "c.go", Line: 7, Used: true},
+	}
+	var out bytes.Buffer
+	bad, err := reportWaivers(&out, recs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != 3 {
+		t.Fatalf("reportWaivers counted %d bad waiver(s), want 3", bad)
+	}
+	text := out.String()
+	for _, frag := range []string{"a.go:3: vet:sharedwrite [used]", "STALE", "UNKNOWN ANALYZER", "(NO JUSTIFICATION)"} {
+		if !strings.Contains(text, frag) {
+			t.Fatalf("inventory output missing %q:\n%s", frag, text)
+		}
+	}
+
+	out.Reset()
+	if _, err := reportWaivers(&out, nil, true); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []analysis.WaiverRecord
+	if err := json.Unmarshal(out.Bytes(), &parsed); err != nil {
+		t.Fatalf("-waivers -json wrote invalid JSON: %v\n%s", err, out.String())
+	}
+	if parsed == nil {
+		t.Fatalf("-waivers -json wrote null, want []: %s", out.String())
 	}
 }
 

@@ -1,0 +1,12 @@
+package aliasleak_test
+
+import (
+	"testing"
+
+	"github.com/graphbig/graphbig-go/internal/analysis"
+	"github.com/graphbig/graphbig-go/internal/analysis/aliasleak"
+)
+
+func TestAliasLeak(t *testing.T) {
+	analysis.RunTest(t, aliasleak.Analyzer, "internal/engine", "internal/order", "internal/property")
+}

@@ -1,0 +1,25 @@
+// Fixture order package: permutation functions under aliasleak's
+// fresh-result rule.
+package order
+
+// Fresh allocates its result: clean.
+func Fresh(n int, off, nbr []int32) []int32 {
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	return perm
+}
+
+// Leak returns a parameter outright.
+func Leak(n int, off, nbr []int32) []int32 { // want "Leak returns memory that may alias its parameter off"
+	return off
+}
+
+// LeakSub returns a window of a parameter.
+func LeakSub(n int, off, nbr []int32) []int32 { // want "LeakSub returns memory that may alias its parameter nbr"
+	if n == 0 {
+		return nil
+	}
+	return nbr[:n]
+}

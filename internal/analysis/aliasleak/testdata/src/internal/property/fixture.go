@@ -1,0 +1,44 @@
+// Fixture property package: a miniature Graph/View pair whose View
+// publisher seeds the frozen set aliasleak's scratch rule consults.
+package property
+
+// VertexID identifies a vertex.
+type VertexID uint32
+
+// Vertex is the freeze boundary: its interior stays mutable.
+type Vertex struct {
+	ID    VertexID
+	Props []float64
+}
+
+// View is the published immutable snapshot.
+type View struct {
+	Verts  []*Vertex
+	NbrOff []int32
+}
+
+// Graph owns the live, mutable vertex set.
+type Graph struct {
+	verts []*Vertex
+}
+
+// NewGraph builds a graph with n vertices.
+func NewGraph(n int) *Graph {
+	g := &Graph{}
+	for i := 0; i < n; i++ {
+		g.verts = append(g.verts, &Vertex{ID: VertexID(i)})
+	}
+	return g
+}
+
+// View publishes a frozen snapshot of g.
+func (g *Graph) View() *View {
+	vw := &View{
+		Verts:  append([]*Vertex(nil), g.verts...),
+		NbrOff: make([]int32, len(g.verts)+1),
+	}
+	for i := range g.verts {
+		vw.NbrOff[i] = int32(i)
+	}
+	return vw
+}

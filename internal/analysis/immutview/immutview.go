@@ -1,0 +1,332 @@
+// Package immutview proves immutability-after-publish for property
+// graph views: once a *property.View leaves its constructor, no code in
+// the module writes the memory reachable from it — not through the View
+// itself, and not through any alias captured elsewhere.
+//
+// The frozen set is computed from the points-to relation
+// (internal/analysis/pointsto): the objects the View-returning
+// functions of internal/property (Graph.View, Graph.ViewWith,
+// Graph.ViewReference) may return, closed under field/element
+// reachability. The closure stops at *property.Vertex: vertex records
+// are shared with the live Graph and carry the mutable property slots —
+// their interior is governed by the graph's own locking discipline, not
+// by view freezing.
+//
+// Constructor-phase writes are exempt. A constructor is any function
+// reachable in the module call graph from a View-returning function —
+// resolve, applyOrder, publishIndex, the partition planner, and the
+// parallel fill callbacks flattened into them all qualify. Everything
+// else that writes a frozen object — element stores, field stores,
+// pointer-target stores, in-place builtins (append/copy/clear/delete)
+// and the sort package's in-place sorts — is reported.
+//
+// A finding is waived in place with a mandatory justification:
+//
+//	vw.Nbr[0] = x //vet:immutview rebuilt under StopTheWorld in test harness
+//
+// A bare //vet:immutview is itself reported rather than honored.
+package immutview
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"github.com/graphbig/graphbig-go/internal/analysis"
+	"github.com/graphbig/graphbig-go/internal/analysis/pointsto"
+)
+
+// Analyzer is the immutview module analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:      "immutview",
+	Doc:       "memory reachable from a published property.View is never written after publication",
+	RunModule: run,
+}
+
+// propertyPkg is the path suffix of the package whose View-returning
+// functions publish frozen state.
+const propertyPkg = "internal/property"
+
+type checker struct {
+	mp *analysis.ModulePass
+	m  *analysis.Module
+	r  *pointsto.Result
+	ws *analysis.WaiverSet
+
+	// protect is the frozen object set: reachable from a published View,
+	// minus the Vertex boundary and the non-memory object kinds.
+	protect map[*pointsto.Object]bool
+	// protectedVars maps a variable to its protected storage cell, for
+	// direct `v = x` writes to a cell something published still holds.
+	protectedVars map[*types.Var]*pointsto.Object
+	// badWaiver dedups bare-directive reports.
+	badWaiver map[*analysis.Waiver]bool
+}
+
+// FrozenObjects computes the frozen set the analyzer protects: every
+// object reachable from the return values of the module's View
+// publishers, stopping at the Vertex boundary and at the extern blur.
+// Exported for aliasleak, whose scratch-purity rule forbids internal
+// buffers from aliasing this same set.
+func FrozenObjects(m *analysis.Module, r *pointsto.Result) map[*pointsto.Object]bool {
+	var seeds []*pointsto.Object
+	for _, fn := range viewPublishers(m) {
+		sig := fn.Type().(*types.Signature)
+		for i := 0; i < sig.Results().Len(); i++ {
+			if analysis.NamedIn(sig.Results().At(i).Type(), "View", propertyPkg) {
+				seeds = append(seeds, r.ReturnObjects(fn, i)...)
+			}
+		}
+	}
+	return r.Reachable(seeds, frozenStop)
+}
+
+// frozenStop prunes the frozen closure. The extern blur holds everything
+// ever passed to unanalyzed code — traversing through it would freeze
+// the universe — and vertex records stay mutable under the graph's own
+// locking discipline.
+func frozenStop(o *pointsto.Object) bool {
+	if o.Kind == pointsto.KExtern {
+		return true
+	}
+	return o.Type != nil && analysis.NamedIn(o.Type, "Vertex", propertyPkg)
+}
+
+func run(mp *analysis.ModulePass) error {
+	m := mp.Module
+	r := pointsto.Of(m)
+
+	roots := viewPublishers(m)
+	if len(roots) == 0 {
+		return nil
+	}
+	frozen := FrozenObjects(m, r)
+
+	c := &checker{
+		mp:            mp,
+		m:             m,
+		r:             r,
+		ws:            m.Waivers("immutview"),
+		protect:       map[*pointsto.Object]bool{},
+		protectedVars: map[*types.Var]*pointsto.Object{},
+		badWaiver:     map[*analysis.Waiver]bool{},
+	}
+	for o := range frozen {
+		if frozenStop(o) {
+			continue // Vertex interior: the graph's concern
+		}
+		switch o.Kind {
+		case pointsto.KExtern, pointsto.KFunc:
+			continue // not module memory / not writable
+		}
+		c.protect[o] = true
+		if o.Var != nil {
+			c.protectedVars[o.Var] = o
+		}
+	}
+	if len(c.protect) == 0 {
+		return nil
+	}
+
+	exempt := constructorDecls(m.CallGraph(), roots)
+	for _, node := range m.CallGraph().Declared() {
+		if exempt[node] {
+			continue
+		}
+		c.checkDecl(node)
+	}
+	return nil
+}
+
+// viewPublishers returns every function declared in an internal/property
+// package whose signature returns a *property.View — the publication
+// points whose results seed the frozen set.
+func viewPublishers(m *analysis.Module) []*types.Func {
+	var out []*types.Func
+	for _, pkg := range m.Pkgs {
+		if !analysis.HasPathSuffix(pkg.PkgPath, propertyPkg) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				sig := fn.Type().(*types.Signature)
+				for i := 0; i < sig.Results().Len(); i++ {
+					if analysis.NamedIn(sig.Results().At(i).Type(), "View", propertyPkg) {
+						out = append(out, fn)
+						break
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// constructorDecls returns the declared nodes reachable in the call
+// graph from the publishing functions — the constructor phase, whose
+// writes build the View before it is published. Every edge kind is
+// followed: a function referenced as a value inside a constructor
+// ("ref") is almost certainly invoked during construction, and helpers
+// spawned on worker goroutines ("go") are joined before return.
+func constructorDecls(cg *analysis.CallGraph, roots []*types.Func) map[*analysis.CGNode]bool {
+	reach := map[*analysis.CGNode]bool{}
+	var queue []*analysis.CGNode
+	add := func(n *analysis.CGNode) {
+		if n != nil && !reach[n] {
+			reach[n] = true
+			queue = append(queue, n)
+		}
+	}
+	for _, fn := range roots {
+		add(cg.Node(fn))
+	}
+	for len(queue) > 0 {
+		n := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, e := range n.Out {
+			add(e.Callee)
+		}
+	}
+	return reach
+}
+
+func (c *checker) checkDecl(node *analysis.CGNode) {
+	info := node.Pkg.TypesInfo
+	ast.Inspect(node.Decl, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				c.checkWrite(info, lhs)
+			}
+		case *ast.IncDecStmt:
+			c.checkWrite(info, n.X)
+		case *ast.CallExpr:
+			c.checkCall(info, n)
+		}
+		return true
+	})
+}
+
+// checkWrite reports lvalue when the cell it writes may belong to a
+// frozen object.
+func (c *checker) checkWrite(info *types.Info, lvalue ast.Expr) {
+	lvalue = ast.Unparen(lvalue)
+	switch l := lvalue.(type) {
+	case *ast.Ident:
+		// Plain variable assignment only mutates published state when the
+		// variable's own storage cell is frozen (its address was stored
+		// into the View).
+		if v, ok := info.Uses[l].(*types.Var); ok {
+			if c.protectedVars[v] != nil {
+				c.report(lvalue.Pos(), "assignment overwrites variable %s, whose storage a published View still references; views are immutable after publication", v.Name())
+			}
+		}
+	case *ast.IndexExpr:
+		c.checkBase(info, l.X, lvalue.Pos(), "element store")
+	case *ast.StarExpr:
+		c.checkBase(info, l.X, lvalue.Pos(), "pointer store")
+	case *ast.SelectorExpr:
+		// Qualified identifiers (pkg.Var = x) rebind a package variable;
+		// cell writes are the Ident case above in the declaring package.
+		if id, ok := l.X.(*ast.Ident); ok {
+			if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+				return
+			}
+		}
+		c.checkBase(info, l.X, lvalue.Pos(), "field store")
+	}
+}
+
+// checkCall reports in-place mutating calls whose target may be frozen:
+// the builtins append/copy/clear/delete and the sort package's sorts.
+func (c *checker) checkCall(info *types.Info, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				// The defensive-copy idiom append(s[:0:0], ...) caps the
+				// base at zero: nothing in-place to protect.
+				if sl, ok := ast.Unparen(call.Args[0]).(*ast.SliceExpr); ok && sl.Max != nil {
+					return
+				}
+				c.checkBase(info, call.Args[0], call.Pos(), "in-place append")
+			case "copy":
+				c.checkBase(info, call.Args[0], call.Pos(), "copy into")
+			case "clear", "delete":
+				c.checkBase(info, call.Args[0], call.Pos(), b.Name())
+			}
+			return
+		}
+	}
+	if fn := analysis.Callee(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sort" {
+		switch fn.Name() {
+		case "Slice", "SliceStable", "Sort", "Stable", "Ints", "Float64s", "Strings":
+			c.checkBase(info, call.Args[0], call.Pos(), "in-place sort of")
+		}
+	}
+}
+
+// checkBase reports at pos when base may refer to a frozen object.
+func (c *checker) checkBase(info *types.Info, base ast.Expr, pos token.Pos, action string) {
+	var hit []*pointsto.Object
+	for _, o := range c.r.EvalObjects(info, ast.Unparen(base)) {
+		if c.protect[o] {
+			hit = append(hit, o)
+		}
+	}
+	if len(hit) == 0 {
+		return
+	}
+	sort.Slice(hit, func(i, j int) bool { return hit[i].ID < hit[j].ID })
+	c.report(pos, "%s memory reachable from a published View (%s); views are immutable after publication", action, c.describe(hit[0]))
+}
+
+// report emits the finding unless a justified waiver covers it.
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	if w := c.ws.Covering(pos); w != nil {
+		if w.Justification != "" {
+			w.MarkUsed()
+			return
+		}
+		if !c.badWaiver[w] {
+			c.badWaiver[w] = true
+			c.mp.Report(pos, "bare //vet:immutview directive: a justification is required")
+		}
+		return
+	}
+	c.mp.Report(pos, format, args...)
+}
+
+// describe names a frozen object for the finding message.
+func (c *checker) describe(o *pointsto.Object) string {
+	switch o.Kind {
+	case pointsto.KVar:
+		if o.Var != nil {
+			return "variable " + o.Var.Name() + "'s storage"
+		}
+		return "a frozen variable cell"
+	case pointsto.KParam:
+		return "caller-supplied memory retained by the View"
+	case pointsto.KInner:
+		return "nested field storage of a frozen object"
+	}
+	if p := c.m.Fset.Position(o.Pos()); p.IsValid() {
+		return "allocated at " + p.String()
+	}
+	return "allocation"
+}

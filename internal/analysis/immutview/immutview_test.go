@@ -1,0 +1,12 @@
+package immutview_test
+
+import (
+	"testing"
+
+	"github.com/graphbig/graphbig-go/internal/analysis"
+	"github.com/graphbig/graphbig-go/internal/analysis/immutview"
+)
+
+func TestImmutView(t *testing.T) {
+	analysis.RunTest(t, immutview.Analyzer, "internal/engine", "internal/property")
+}

@@ -1,0 +1,98 @@
+// Fixture engine package: consumers of the published property.View.
+// Each mutator receives the view from Run, so its parameter's points-to
+// set carries the frozen allocation sites.
+package engine
+
+import (
+	"sort"
+
+	"internal/property"
+)
+
+// Run publishes a view and hands it to every consumer below.
+func Run() {
+	g := property.NewGraph(8)
+	vw := g.View()
+	mutateElem(vw)
+	mutateField(vw)
+	mutatePointer(vw)
+	mutateAppend(vw)
+	mutateCopy(vw)
+	mutateClear(vw)
+	mutateSort(vw)
+	mutateAlias(vw)
+	mutateWaived(vw)
+	mutateBare(vw)
+	property.Bump()
+	_ = readOnly(vw)
+	vertexInterior(vw)
+	_ = defensiveCopy(vw)
+}
+
+func mutateElem(vw *property.View) {
+	vw.Nbr[0] = 7 // want "element store memory reachable from a published View"
+}
+
+func mutateField(vw *property.View) {
+	vw.NbrOff = nil // want "field store memory reachable from a published View"
+}
+
+func mutatePointer(vw *property.View) {
+	*vw = property.View{} // want "pointer store memory reachable from a published View"
+}
+
+func mutateAppend(vw *property.View) {
+	_ = append(vw.Nbr, 9) // want "in-place append memory reachable from a published View"
+}
+
+func mutateCopy(vw *property.View) {
+	copy(vw.Nbr, []property.VertexID{1, 2}) // want "copy into memory reachable from a published View"
+}
+
+func mutateClear(vw *property.View) {
+	clear(vw.ByID) // want "clear memory reachable from a published View"
+}
+
+func mutateSort(vw *property.View) {
+	sort.Slice(vw.Verts, func(i, j int) bool { // want "in-place sort of memory reachable from a published View"
+		return vw.Verts[i].ID < vw.Verts[j].ID
+	})
+}
+
+// mutateAlias writes through a local alias of frozen storage: the
+// points-to layer sees through the copy.
+func mutateAlias(vw *property.View) {
+	nbr := vw.Nbr
+	nbr[1] = 3 // want "element store memory reachable from a published View"
+}
+
+// mutateWaived carries a justified waiver: suppressed, no want.
+func mutateWaived(vw *property.View) {
+	vw.Nbr[3] = 5 //vet:immutview rebuilt under stop-the-world in the snapshot test harness
+}
+
+// mutateBare carries a bare directive: reported, not honored.
+func mutateBare(vw *property.View) {
+	//vet:immutview
+	vw.Nbr[2] = 6 // want "bare //vet:immutview directive: a justification is required"
+}
+
+// readOnly only loads frozen memory: clean.
+func readOnly(vw *property.View) int {
+	s := 0
+	for _, off := range vw.NbrOff {
+		s += int(off)
+	}
+	return s
+}
+
+// vertexInterior writes inside a Vertex record, past the freeze
+// boundary: the vertex interior belongs to the live graph.
+func vertexInterior(vw *property.View) {
+	vw.Verts[0].Props[0] = 1.5
+}
+
+// defensiveCopy uses the append(s[:0:0], s...) idiom: clean.
+func defensiveCopy(vw *property.View) []property.VertexID {
+	return append(vw.Nbr[:0:0], vw.Nbr...)
+}

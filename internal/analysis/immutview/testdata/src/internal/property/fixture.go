@@ -1,0 +1,68 @@
+// Fixture property package: a miniature Graph/View pair exercising the
+// immutview publication model. Constructor-phase writes (View, resolve)
+// are exempt; the post-publication write in Bump is a finding.
+package property
+
+// epoch's storage cell is published through View.Epoch, so overwriting
+// the variable itself mutates frozen state.
+var epoch int64
+
+// VertexID identifies a vertex.
+type VertexID uint32
+
+// Vertex is the stop boundary: its interior stays mutable.
+type Vertex struct {
+	ID    VertexID
+	Props []float64
+}
+
+// View is the published immutable snapshot.
+type View struct {
+	Verts  []*Vertex
+	Nbr    []VertexID
+	NbrOff []int32
+	ByID   map[VertexID]*Vertex
+	Epoch  *int64
+}
+
+// Graph owns the live, mutable vertex set.
+type Graph struct {
+	verts []*Vertex
+}
+
+// NewGraph builds a graph with n vertices.
+func NewGraph(n int) *Graph {
+	g := &Graph{}
+	for i := 0; i < n; i++ {
+		g.verts = append(g.verts, &Vertex{ID: VertexID(i), Props: make([]float64, 4)})
+	}
+	return g
+}
+
+// View publishes a frozen snapshot of g.
+func (g *Graph) View() *View {
+	vw := &View{
+		Verts:  append([]*Vertex(nil), g.verts...),
+		Nbr:    make([]VertexID, 4),
+		NbrOff: make([]int32, len(g.verts)+1),
+		ByID:   make(map[VertexID]*Vertex, len(g.verts)),
+		Epoch:  &epoch,
+	}
+	g.resolve(vw)
+	return vw
+}
+
+// resolve fills vw in the constructor phase: every write here is exempt.
+func (g *Graph) resolve(vw *View) {
+	for i, v := range g.verts {
+		vw.NbrOff[i] = int32(i)
+		vw.ByID[v.ID] = v
+	}
+	vw.Nbr[0] = 1
+}
+
+// Bump is not reachable from any publisher, so this write lands after
+// publication.
+func Bump() {
+	epoch = epoch + 1 // want "assignment overwrites variable epoch"
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Finding is one diagnostic with its position resolved, the
@@ -18,13 +19,47 @@ type Finding struct {
 	Message  string `json:"message"`
 }
 
-// VetFindings loads the packages matching patterns (module packages only;
+// AnalyzerTiming is one analyzer's wall-clock accumulated across every
+// package (per-package analyzers) or the whole module (module
+// analyzers), in suite order — what the CI time-budget step records.
+type AnalyzerTiming struct {
+	Analyzer string  `json:"analyzer"`
+	Seconds  float64 `json:"seconds"`
+}
+
+// WaiverRecord is one //vet:* directive in the -waivers inventory.
+// Stale means no analyzer in the run marked it as suppressing a finding
+// (the code it excused got fixed, or the analyzer name is a typo no
+// analyzer answers to — Unknown distinguishes the latter). Stale and
+// unjustified directives fail the CI waiver audit.
+type WaiverRecord struct {
+	Analyzer      string `json:"analyzer"`
+	File          string `json:"file"`
+	Line          int    `json:"line"`
+	Justification string `json:"justification,omitempty"`
+	Used          bool   `json:"used"`
+	Stale         bool   `json:"stale"`
+	Unknown       bool   `json:"unknown,omitempty"`
+}
+
+// VetResult bundles one run of the suite: the findings, per-analyzer
+// wall-clock, and the waiver inventory with post-run used marks.
+type VetResult struct {
+	Findings []Finding        `json:"findings"`
+	Timings  []AnalyzerTiming `json:"timings"`
+	Waivers  []WaiverRecord   `json:"waivers"`
+}
+
+// VetAll loads the packages matching patterns (module packages only;
 // the standard-library closure is type-checked but never analyzed) and
-// applies the full suite: per-package analyzers to each package, module
-// analyzers once to the whole set. Findings come back sorted by file,
-// line, column. Test files are not analyzed: the invariants protect
-// shipped simulation and engine code.
-func VetFindings(analyzers []*Analyzer, patterns ...string) ([]Finding, error) {
+// applies the suite: per-package analyzers to each package, module
+// analyzers once to the whole set, each analyzer timed individually.
+// Findings come back sorted by file, line, column. Test files are not
+// analyzed: the invariants protect shipped simulation and engine code.
+// The waiver inventory is collected after the analyzers run, so its
+// used marks reflect this run; staleness is only judged for directives
+// whose analyzer was in the run set.
+func VetAll(analyzers []*Analyzer, patterns ...string) (*VetResult, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -37,24 +72,33 @@ func VetFindings(analyzers []*Analyzer, patterns ...string) ([]Finding, error) {
 		return nil, err
 	}
 	var finds []Finding
+	elapsed := make([]time.Duration, len(analyzers))
 	for _, pkg := range pkgs {
-		diags, err := RunAnalyzers(pkg, analyzers)
-		if err != nil {
-			return nil, err
-		}
-		for _, d := range diags {
-			pos := pkg.Fset.Position(d.Pos)
-			finds = append(finds, Finding{File: pos.Filename, Line: pos.Line, Col: pos.Column, Analyzer: d.Analyzer, Message: d.Message})
+		for i, a := range analyzers {
+			start := time.Now()
+			diags, err := RunAnalyzers(pkg, []*Analyzer{a})
+			elapsed[i] += time.Since(start)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				finds = append(finds, Finding{File: pos.Filename, Line: pos.Line, Col: pos.Column, Analyzer: d.Analyzer, Message: d.Message})
+			}
 		}
 	}
 	m := NewModule(pkgs)
-	mdiags, err := RunModuleAnalyzers(m, analyzers)
-	if err != nil {
-		return nil, err
-	}
-	for _, d := range mdiags {
-		pos := m.Fset.Position(d.Pos)
-		finds = append(finds, Finding{File: pos.Filename, Line: pos.Line, Col: pos.Column, Analyzer: d.Analyzer, Message: d.Message})
+	for i, a := range analyzers {
+		start := time.Now()
+		mdiags, err := RunModuleAnalyzers(m, []*Analyzer{a})
+		elapsed[i] += time.Since(start)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range mdiags {
+			pos := m.Fset.Position(d.Pos)
+			finds = append(finds, Finding{File: pos.Filename, Line: pos.Line, Col: pos.Column, Analyzer: d.Analyzer, Message: d.Message})
+		}
 	}
 	sort.Slice(finds, func(i, j int) bool {
 		a, b := finds[i], finds[j]
@@ -72,7 +116,66 @@ func VetFindings(analyzers []*Analyzer, patterns ...string) ([]Finding, error) {
 		}
 		return a.Message < b.Message
 	})
-	return finds, nil
+	res := &VetResult{Findings: finds}
+	for i, a := range analyzers {
+		res.Timings = append(res.Timings, AnalyzerTiming{Analyzer: a.Name, Seconds: elapsed[i].Seconds()})
+	}
+	res.Waivers = auditWaivers(m, analyzers)
+	return res, nil
+}
+
+// auditWaivers builds the post-run waiver inventory: the cached
+// per-analyzer sets carry the used marks the analyzers left behind, and
+// directives naming no analyzer in the run set surface as unknown (a
+// typo'd name suppresses nothing and must not linger).
+func auditWaivers(m *Module, analyzers []*Analyzer) []WaiverRecord {
+	known := map[string]bool{}
+	var recs []WaiverRecord
+	for _, a := range analyzers {
+		known[a.Name] = true
+		for _, w := range m.Waivers(a.Name).All() {
+			recs = append(recs, WaiverRecord{
+				Analyzer:      w.Analyzer,
+				File:          w.File,
+				Line:          w.Line,
+				Justification: w.Justification,
+				Used:          w.Used(),
+				Stale:         !w.Used(),
+			})
+		}
+	}
+	for _, w := range WaiverDirectives(m.Pkgs) {
+		if known[w.Analyzer] {
+			continue
+		}
+		recs = append(recs, WaiverRecord{
+			Analyzer:      w.Analyzer,
+			File:          w.File,
+			Line:          w.Line,
+			Justification: w.Justification,
+			Stale:         true,
+			Unknown:       true,
+		})
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].File != recs[j].File {
+			return recs[i].File < recs[j].File
+		}
+		if recs[i].Line != recs[j].Line {
+			return recs[i].Line < recs[j].Line
+		}
+		return recs[i].Analyzer < recs[j].Analyzer
+	})
+	return recs
+}
+
+// VetFindings runs VetAll and returns just the findings.
+func VetFindings(analyzers []*Analyzer, patterns ...string) ([]Finding, error) {
+	res, err := VetAll(analyzers, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return res.Findings, nil
 }
 
 // Vet runs VetFindings and writes one "file:line:col: message [analyzer]"

@@ -5,6 +5,8 @@ import (
 	"go/constant"
 	"go/token"
 	"go/types"
+
+	"github.com/graphbig/graphbig-go/internal/analysis"
 )
 
 // The prover: per-context symbolic facts about which expressions denote
@@ -25,6 +27,11 @@ func (p prov) proven() bool { return p.ok || p.via != nil }
 type vfact struct {
 	// distinct: the variable's value is a worker-distinct index.
 	distinct prov
+	// confined: the value additionally lies in [0, total) for the
+	// context's combinator total — the magnitude bound the stride rule
+	// (A*total + j) needs. Only raw item/window indices are confined;
+	// affine images i±c are distinct but not confined.
+	confined bool
 	// owned: the variable holds a slice owned by this worker (element
 	// writes need no index proof). ownedLo, when non-nil, is the window
 	// low-bound variable the slice was cut at — it feeds the
@@ -40,9 +47,22 @@ type vfact struct {
 // window is a proven half-open index window [lo, hi): distinct workers
 // hold disjoint windows. Seeded from ParallelRange body parameters,
 // partition Plan.Range results, and spawn-site bounds-array pairs.
+// confined marks the context's own [0, total) partition (ParallelRange
+// body parameters): indices drawn from it are magnitude-bounded by the
+// combinator total.
 type window struct {
-	lo, hi *types.Var
-	p      prov
+	lo, hi   *types.Var
+	p        prov
+	confined bool
+}
+
+// wininfo is windowProv's result: the proof, the low-bound variable
+// (when the window is a registered variable pair), and whether indices
+// in the window are confined to [0, total).
+type wininfo struct {
+	p        prov
+	lo       *types.Var
+	confined bool
 }
 
 // env is the walking state of one evaluation context (a parallel worker
@@ -57,8 +77,18 @@ type env struct {
 	facts   map[*types.Var]*vfact
 	windows []window
 	held    map[*types.Var]bool // mutexes currently locked
-	waived  int                 // >0 inside a waived statement subtree
-	sum     *summary            // non-nil when collecting a callee summary
+	// activeWaivers: the directives covering the statements currently
+	// being walked; a suppression marks the innermost one used.
+	activeWaivers []*analysis.Waiver
+	sum           *summary // non-nil when collecting a callee summary
+	// total is the combinator's iteration-count argument for a direct
+	// ParallelRange/ParallelItems context (nil elsewhere): the stride
+	// modulus of the A*total + j rule.
+	total ast.Expr
+	// ctxStart/ctxEnd delimit the context body literal, the range the
+	// points-to ownership fallback checks allocations and holders
+	// against (NoPos for summary environments).
+	ctxStart, ctxEnd token.Pos
 }
 
 func (e *env) info() *types.Info { return e.pkg.info }
@@ -136,6 +166,12 @@ func (e *env) prove(x ast.Expr) prov {
 			if p := e.offsetProv(x.Y, x.X); p.proven() {
 				return p
 			}
+			if p := e.strideProv(x.X, x.Y); p.proven() {
+				return p
+			}
+			if p := e.strideProv(x.Y, x.X); p.proven() {
+				return p
+			}
 			if e.isConst(x.Y) {
 				return e.prove(x.X)
 			}
@@ -187,8 +223,8 @@ func (e *env) ownedProve(x ast.Expr) (prov, *types.Var) {
 			return bp, nil // re-slicing an owned slice stays owned
 		}
 		if x.Low != nil && x.High != nil {
-			if wp, loV, ok := e.windowProv(x.Low, x.High); ok {
-				return wp, loV
+			if wi, ok := e.windowProv(x.Low, x.High); ok {
+				return wi.p, wi.lo
 			}
 		}
 	case *ast.CallExpr:
@@ -227,12 +263,12 @@ func (e *env) ownedProve(x ast.Expr) (prov, *types.Var) {
 //   - bounds-array adjacency b[F] / b[F+c] over a shared monotone
 //     bounds array, distinct when F is worker-distinct;
 //   - the affine chunk π*m / π*m+m for worker-distinct π.
-func (e *env) windowProv(loE, hiE ast.Expr) (prov, *types.Var, bool) {
+func (e *env) windowProv(loE, hiE ast.Expr) (wininfo, bool) {
 	loE, hiE = ast.Unparen(loE), ast.Unparen(hiE)
 	if lv, hv := identVar(e, loE), identVar(e, hiE); lv != nil && hv != nil {
 		for _, w := range e.windows {
 			if w.lo == lv && w.hi == hv {
-				return w.p, lv, true
+				return wininfo{p: w.p, lo: lv, confined: w.confined}, true
 			}
 		}
 	}
@@ -241,7 +277,7 @@ func (e *env) windowProv(loE, hiE ast.Expr) (prov, *types.Var, bool) {
 			lb, hb := identVar(e, li.X), identVar(e, hi.X)
 			if lb != nil && lb == hb && e.isPlusConst(hi.Index, li.Index) {
 				if p := e.prove(li.Index); p.proven() {
-					return p, nil, true
+					return wininfo{p: p}, true
 				}
 			}
 		}
@@ -259,18 +295,39 @@ func (e *env) windowProv(loE, hiE ast.Expr) (prov, *types.Var, bool) {
 			if lb, ok := loE.(*ast.BinaryExpr); ok && lb.Op == token.MUL {
 				if astEqual(e, lb.Y, m) {
 					if p := e.prove(lb.X); p.proven() {
-						return p, nil, true
+						return wininfo{p: p}, true
 					}
 				}
 				if astEqual(e, lb.X, m) {
 					if p := e.prove(lb.Y); p.proven() {
-						return p, nil, true
+						return wininfo{p: p}, true
 					}
 				}
 			}
 		}
 	}
-	return prov{}, nil, false
+	return wininfo{}, false
+}
+
+// strideProv proves A*total + j worker-distinct for the context's
+// combinator total: workers hold disjoint confined j in [0, total), so
+// the stride decomposition A*total + j is injective in (A, j) and any
+// two workers' indices differ regardless of A.
+func (e *env) strideProv(aE, jE ast.Expr) prov {
+	if e.total == nil {
+		return prov{}
+	}
+	mul, ok := ast.Unparen(aE).(*ast.BinaryExpr)
+	if !ok || mul.Op != token.MUL {
+		return prov{}
+	}
+	if !astEqual(e, mul.X, e.total) && !astEqual(e, mul.Y, e.total) {
+		return prov{}
+	}
+	if f := e.fact(identVar(e, jE)); f != nil && f.confined && f.distinct.proven() {
+		return f.distinct
+	}
+	return prov{}
 }
 
 // isPlusConst reports a == b + c for a nonzero integer constant c.
@@ -331,15 +388,15 @@ func (e *env) vfactOf(rhs ast.Expr) vfact {
 // escapeGuard recognizes `if x < lo || x >= hi { continue }` (either
 // disjunct order; the body a lone continue/break/return): after the
 // guard, x is confined to the window [lo, hi). Returns the guarded
-// variable and the window proof.
-func (e *env) escapeGuard(s ast.Stmt) (*types.Var, prov, bool) {
+// variable and the window info (proof plus confinement).
+func (e *env) escapeGuard(s ast.Stmt) (*types.Var, wininfo, bool) {
 	ifs, ok := s.(*ast.IfStmt)
 	if !ok || ifs.Init != nil || ifs.Else != nil || !loneEscape(ifs.Body) {
-		return nil, prov{}, false
+		return nil, wininfo{}, false
 	}
 	or, ok := ast.Unparen(ifs.Cond).(*ast.BinaryExpr)
 	if !ok || or.Op != token.LOR {
-		return nil, prov{}, false
+		return nil, wininfo{}, false
 	}
 	for _, try := range [2][2]ast.Expr{{or.X, or.Y}, {or.Y, or.X}} {
 		low, ok := ast.Unparen(try[0]).(*ast.BinaryExpr)
@@ -354,19 +411,19 @@ func (e *env) escapeGuard(s ast.Stmt) (*types.Var, prov, bool) {
 		if x == nil || x != identVar(e, high.X) {
 			continue
 		}
-		if wp, _, ok := e.windowProv(low.Y, high.Y); ok {
-			return x, wp, true
+		if wi, ok := e.windowProv(low.Y, high.Y); ok {
+			return x, wi, true
 		}
 	}
-	return nil, prov{}, false
+	return nil, wininfo{}, false
 }
 
 // containGuard recognizes `if x >= lo && x < hi { ... }`: inside the
 // then-branch, x is confined to the window.
-func (e *env) containGuard(ifs *ast.IfStmt) (*types.Var, prov, bool) {
+func (e *env) containGuard(ifs *ast.IfStmt) (*types.Var, wininfo, bool) {
 	and, ok := ast.Unparen(ifs.Cond).(*ast.BinaryExpr)
 	if !ok || and.Op != token.LAND {
-		return nil, prov{}, false
+		return nil, wininfo{}, false
 	}
 	for _, try := range [2][2]ast.Expr{{and.X, and.Y}, {and.Y, and.X}} {
 		low, ok := ast.Unparen(try[0]).(*ast.BinaryExpr)
@@ -381,11 +438,11 @@ func (e *env) containGuard(ifs *ast.IfStmt) (*types.Var, prov, bool) {
 		if x == nil || x != identVar(e, high.X) {
 			continue
 		}
-		if wp, _, ok := e.windowProv(low.Y, high.Y); ok {
-			return x, wp, true
+		if wi, ok := e.windowProv(low.Y, high.Y); ok {
+			return x, wi, true
 		}
 	}
-	return nil, prov{}, false
+	return nil, wininfo{}, false
 }
 
 func loneEscape(b *ast.BlockStmt) bool {

@@ -53,11 +53,9 @@
 package sharedwrite
 
 import (
-	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
-	"strings"
 
 	"github.com/graphbig/graphbig-go/internal/analysis"
 )
@@ -76,8 +74,6 @@ var scope = []string{
 	"internal/property",
 	"internal/workloads",
 }
-
-const directive = "vet:sharedwrite"
 
 type pkginfo struct {
 	info  *types.Info
@@ -99,24 +95,17 @@ type summary struct {
 	bad []string
 }
 
-type waiverRec struct {
-	pos    token.Pos
-	reason string
-	used   bool
-}
-
 type checker struct {
 	mp       *analysis.ModulePass
 	m        *analysis.Module
 	cg       *analysis.CallGraph
+	ws       *analysis.WaiverSet
 	identFns map[*types.Func]bool
 	wrappers map[*types.Func]int // body-forwarding funcs -> arg index of the body
 	sums     map[*types.Func]*summary
 	litSums  map[*ast.FuncLit]*summary
 	inProg   map[any]bool
 	reported map[token.Pos]bool
-	// waivers: "filename:line" -> directive on that line.
-	waivers map[string]*waiverRec
 }
 
 func run(mp *analysis.ModulePass) error {
@@ -124,19 +113,18 @@ func run(mp *analysis.ModulePass) error {
 		mp:       mp,
 		m:        mp.Module,
 		cg:       mp.Module.CallGraph(),
+		ws:       mp.Module.Waivers("sharedwrite"),
 		identFns: map[*types.Func]bool{},
 		wrappers: map[*types.Func]int{},
 		sums:     map[*types.Func]*summary{},
 		litSums:  map[*ast.FuncLit]*summary{},
 		inProg:   map[any]bool{},
 		reported: map[token.Pos]bool{},
-		waivers:  map[string]*waiverRec{},
 	}
 	for _, node := range c.cg.Declared() {
 		c.detectIdentity(node)
 		c.detectWrapper(node)
 	}
-	c.collectWaivers()
 	for _, node := range c.cg.Declared() {
 		if node.Pkg == nil || !analysis.HasPathSuffix(node.Pkg.PkgPath, scope...) {
 			continue
@@ -149,9 +137,9 @@ func run(mp *analysis.ModulePass) error {
 			c.findContexts(node, unit)
 		}
 	}
-	for _, w := range c.waivers {
-		if w.reason == "" {
-			c.mp.Report(w.pos, "//vet:sharedwrite waiver requires a justification (what makes this write safe, and which test pins it)")
+	for _, w := range c.ws.All() {
+		if w.Justification == "" {
+			c.mp.Report(w.Pos, "//vet:sharedwrite waiver requires a justification (what makes this write safe, and which test pins it)")
 		}
 	}
 	return nil
@@ -236,42 +224,6 @@ func (c *checker) detectWrapper(node *analysis.CGNode) {
 	})
 }
 
-// collectWaivers indexes every //vet:sharedwrite (or /*vet:sharedwrite*/)
-// directive in the scope packages by file and line.
-func (c *checker) collectWaivers() {
-	for _, pkg := range c.m.Pkgs {
-		if !analysis.HasPathSuffix(pkg.PkgPath, scope...) {
-			continue
-		}
-		for _, f := range pkg.Files {
-			for _, cg := range f.Comments {
-				for _, cm := range cg.List {
-					text := cm.Text
-					switch {
-					case strings.HasPrefix(text, "//"):
-						text = text[2:]
-					case strings.HasPrefix(text, "/*"):
-						text = strings.TrimSuffix(text[2:], "*/")
-					}
-					if !strings.HasPrefix(text, directive) {
-						continue
-					}
-					reason := strings.TrimSpace(strings.TrimPrefix(text, directive))
-					pos := pkg.Fset.Position(cm.Pos())
-					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
-					c.waivers[key] = &waiverRec{pos: cm.Pos(), reason: reason}
-				}
-			}
-		}
-	}
-}
-
-// waiverAt returns the directive on the given file line, if any.
-func (c *checker) waiverAt(pos token.Pos, lineDelta int) *waiverRec {
-	p := c.m.Fset.Position(pos)
-	return c.waivers[fmt.Sprintf("%s:%d", p.Filename, p.Line+lineDelta)]
-}
-
 func (c *checker) reportOnce(pos token.Pos, format string, args ...any) {
 	if c.reported[pos] {
 		return
@@ -334,7 +286,7 @@ func (c *checker) findContexts(node *analysis.CGNode, unit ast.Node) {
 				return false
 			case *ast.CallExpr:
 				if lit := c.contextLit(info, unit, m); lit != nil {
-					c.checkCombinatorContext(node, lit)
+					c.checkCombinatorContext(node, m, lit)
 				}
 			}
 			return true
@@ -385,20 +337,26 @@ func spawnPayloadLit(info *types.Info, scope ast.Node, g *ast.GoStmt) *ast.FuncL
 
 // checkCombinatorContext checks a combinator/wrapper body literal: a
 // single parameter is the worker-distinct item index, a parameter pair
-// is a worker-disjoint window.
-func (c *checker) checkCombinatorContext(node *analysis.CGNode, lit *ast.FuncLit) {
+// is a worker-disjoint window. For a direct combinator call the first
+// argument is the iteration total; the item index and window are
+// confined to [0, total), which licenses the stride rule (A*total + j).
+func (c *checker) checkCombinatorContext(node *analysis.CGNode, call *ast.CallExpr, lit *ast.FuncLit) {
 	e := c.newEnv(node.Pkg, node.Decl)
+	e.ctxStart, e.ctxEnd = lit.Pos(), lit.End()
+	if _, _, ok := analysis.ParallelCombinator(node.Pkg.TypesInfo, call); ok && len(call.Args) > 0 {
+		e.total = call.Args[0]
+	}
 	params := litParams(node.Pkg.TypesInfo, lit)
 	for _, p := range params {
 		e.locals[p] = true
 	}
 	switch len(params) {
 	case 1:
-		e.setFact(params[0], vfact{distinct: prov{ok: true}})
+		e.setFact(params[0], vfact{distinct: prov{ok: true}, confined: true})
 	case 2:
 		e.setFact(params[0], vfact{distinct: prov{ok: true}})
 		e.locals[params[1]] = true
-		e.windows = append(e.windows, window{lo: params[0], hi: params[1], p: prov{ok: true}})
+		e.windows = append(e.windows, window{lo: params[0], hi: params[1], p: prov{ok: true}, confined: true})
 	}
 	e.walkStmtList(lit.Body.List)
 }
@@ -415,6 +373,7 @@ func (c *checker) checkSpawnContext(node *analysis.CGNode, loop ast.Stmt, g *ast
 		sp.setFact(v, vfact{distinct: prov{ok: true}})
 	}
 	e := c.newEnv(node.Pkg, node.Decl)
+	e.ctxStart, e.ctxEnd = lit.Pos(), lit.End()
 	params := litParams(info, lit)
 	for _, p := range params {
 		e.locals[p] = true
@@ -432,8 +391,8 @@ func (c *checker) checkSpawnContext(node *analysis.CGNode, loop ast.Stmt, g *ast
 			if i == j || i >= len(args) || j >= len(args) {
 				continue
 			}
-			if wp, _, ok := sp.windowProv(args[i], args[j]); ok && wp.ok {
-				e.windows = append(e.windows, window{lo: params[i], hi: params[j], p: wp})
+			if wi, ok := sp.windowProv(args[i], args[j]); ok && wi.p.ok {
+				e.windows = append(e.windows, window{lo: params[i], hi: params[j], p: wi.p})
 			}
 		}
 	}

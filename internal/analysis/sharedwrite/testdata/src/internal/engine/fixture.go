@@ -6,6 +6,7 @@ package engine
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"internal/concurrent"
 	"internal/partition"
@@ -227,6 +228,66 @@ func (s *sim) delegatedBad(k int) {
 func (s *sim) delegatedUnproven(k int) {
 	concurrent.ParallelItems(k, k, 1, func(i int) {
 		s.claim(i, s.verts[i]) // want "not proven worker-distinct"
+	})
+}
+
+// strided: a*total + j is worker-distinct when j is the item index
+// confined to [0, total) — the histogram column-scan shape. The pass
+// counter a may take any value.
+func (s *sim) strided(n, passes int) {
+	concurrent.ParallelItems(n, 4, 1, func(j int) {
+		for a := 0; a < passes; a++ {
+			s.hist[a*n+j] = 1
+		}
+	})
+}
+
+// stridedWindow: loop variables drawn from the context's own window are
+// confined too, so the stride rule composes with ParallelRange.
+func (s *sim) stridedWindow(n, passes int) {
+	concurrent.ParallelRange(n, 4, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			for a := 0; a < passes; a++ {
+				s.hist[a*n+v] = 2
+			}
+		}
+	})
+}
+
+// stridedBad: the stride rule needs the addend confined to [0, total);
+// an affine image j+1 is distinct but may reach total, colliding with
+// the next worker's stripe.
+func (s *sim) stridedBad(n, passes int) {
+	concurrent.ParallelItems(n, 4, 1, func(j int) {
+		k := j + 1
+		for a := 0; a < passes; a++ {
+			s.hist[a*n+k] = 3 // want "write to shared .* is not proven disjoint across workers"
+		}
+	})
+}
+
+// casClaim: a successful CompareAndSwap on slot v admits at most one
+// worker per value of v into the branch, so v is worker-distinct there
+// — and only there.
+func (s *sim) casClaim(k int) {
+	concurrent.ParallelItems(k, k, 1, func(i int) {
+		v := s.verts[i]
+		if atomic.LoadInt32(&s.dist[v]) < 0 && atomic.CompareAndSwapInt32(&s.dist[v], -1, 1) {
+			s.out[v] = 1
+		}
+		s.out[v] = 2 // want "write to shared .* is not proven disjoint across workers"
+	})
+}
+
+// ptsOwnedLocal: memory allocated inside the worker body with no holder
+// outside it is worker-owned by the points-to fallback, even when the
+// syntactic owned-slice tracking loses the value through an aggregate.
+func (s *sim) ptsOwnedLocal(k int) {
+	concurrent.ParallelItems(k, k, 1, func(i int) {
+		rows := make([][]int, 2)
+		rows[0] = make([]int, 4)
+		row := rows[0]
+		row[0] = i
 	})
 }
 

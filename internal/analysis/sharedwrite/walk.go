@@ -4,19 +4,25 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 
 	"github.com/graphbig/graphbig-go/internal/analysis"
+	"github.com/graphbig/graphbig-go/internal/analysis/pointsto"
 )
 
 // The statement walker: classifies writes, tracks locals/facts/locks,
 // follows same-package calls through summaries.
 
+// suppressed consults the waiver directives. A waiver is marked used
+// only here, on an actual suppression — a directive that never fires
+// is stale and the -waivers audit flags it.
 func (e *env) suppressed(pos token.Pos) bool {
-	if e.waived > 0 {
+	if n := len(e.activeWaivers); n > 0 {
+		e.activeWaivers[n-1].MarkUsed()
 		return true
 	}
-	if w := e.c.waiverAt(pos, 0); w != nil {
-		w.used = true
+	if w := e.c.ws.At(pos, 0); w != nil {
+		w.MarkUsed()
 		return true
 	}
 	return false
@@ -56,16 +62,15 @@ func (e *env) flagIndex(pos token.Pos, desc string, via *types.Var) {
 
 func (e *env) walkStmtList(list []ast.Stmt) {
 	for _, s := range list {
-		if w := e.c.waiverAt(s.Pos(), -1); w != nil {
-			w.used = true
-			e.waived++
+		if w := e.c.ws.At(s.Pos(), -1); w != nil {
+			e.activeWaivers = append(e.activeWaivers, w)
 			e.walkStmt(s)
-			e.waived--
+			e.activeWaivers = e.activeWaivers[:len(e.activeWaivers)-1]
 		} else {
 			e.walkStmt(s)
 		}
-		if x, p, ok := e.escapeGuard(s); ok {
-			nf := vfact{distinct: p}
+		if x, wi, ok := e.escapeGuard(s); ok {
+			nf := vfact{distinct: wi.p, confined: wi.confined}
 			if old := e.fact(x); old != nil {
 				nf.owned, nf.ownedLo, nf.off, nf.offP = old.owned, old.ownedLo, old.off, old.offP
 			}
@@ -124,10 +129,24 @@ func (e *env) walkStmt(s ast.Stmt) {
 	case *ast.IfStmt:
 		e.walkStmt(s.Init)
 		e.handleExpr(s.Cond)
-		if x, p, ok := e.containGuard(s); ok {
+		if x, wi, ok := e.containGuard(s); ok {
 			saved, had := e.facts[x]
-			nf := vfact{distinct: p}
+			nf := vfact{distinct: wi.p, confined: wi.confined}
 			if saved != nil {
+				nf.owned, nf.ownedLo, nf.off, nf.offP = saved.owned, saved.ownedLo, saved.off, saved.offP
+			}
+			e.facts[x] = &nf
+			e.walkStmtList(s.Body.List)
+			if had {
+				e.facts[x] = saved
+			} else {
+				delete(e.facts, x)
+			}
+		} else if x, ok := e.casClaimGuard(s.Cond); ok {
+			saved, had := e.facts[x]
+			nf := vfact{distinct: prov{ok: true}}
+			if saved != nil {
+				nf.confined = saved.confined
 				nf.owned, nf.ownedLo, nf.off, nf.offP = saved.owned, saved.ownedLo, saved.off, saved.offP
 			}
 			e.facts[x] = &nf
@@ -224,9 +243,73 @@ func (e *env) blessLoopWindow(s *ast.ForStmt) {
 	if !ok || cond.Op != token.LSS || v == nil || v != identVar(e, cond.X) {
 		return
 	}
-	if wp, _, ok := e.windowProv(a.Rhs[0], cond.Y); ok {
-		e.setFact(v, vfact{distinct: wp})
+	if wi, ok := e.windowProv(a.Rhs[0], cond.Y); ok {
+		e.setFact(v, vfact{distinct: wi.p, confined: wi.confined})
 	}
+}
+
+// casClaimGuard recognizes a positively-occurring conjunct
+// atomic.CompareAndSwapXxx(&arr[v], old, new) in an if-condition: the
+// then-branch runs for at most one worker per value of v (the winner of
+// the claim), so v is worker-distinct inside it.
+func (e *env) casClaimGuard(cond ast.Expr) (*types.Var, bool) {
+	cond = ast.Unparen(cond)
+	if b, ok := cond.(*ast.BinaryExpr); ok && b.Op == token.LAND {
+		if v, ok := e.casClaimGuard(b.X); ok {
+			return v, true
+		}
+		return e.casClaimGuard(b.Y)
+	}
+	call, ok := cond.(*ast.CallExpr)
+	if !ok || len(call.Args) < 1 {
+		return nil, false
+	}
+	fn := calleeOf(e.info(), call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" ||
+		!strings.HasPrefix(fn.Name(), "CompareAndSwap") {
+		return nil, false
+	}
+	ue, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || ue.Op != token.AND {
+		return nil, false
+	}
+	ix, ok := ast.Unparen(ue.X).(*ast.IndexExpr)
+	if !ok {
+		return nil, false
+	}
+	if v := identVar(e, ix.Index); v != nil {
+		return v, true
+	}
+	return nil, false
+}
+
+// ptsOwned is the points-to ownership fallback: every abstract object
+// the expression may denote was allocated inside this context body and
+// has no holder outside it, so no other worker can reach the memory and
+// writes through it are worker-local. Summary environments have no
+// syntactic range and never use the fallback.
+func (e *env) ptsOwned(x ast.Expr) bool {
+	if e.ctxStart == token.NoPos || e.sum != nil {
+		return false
+	}
+	r := pointsto.Of(e.c.m)
+	objs := r.EvalObjects(e.info(), ast.Unparen(x))
+	if len(objs) == 0 {
+		return false
+	}
+	for _, o := range objs {
+		if o.Kind != pointsto.KAlloc && o.Kind != pointsto.KVar {
+			return false
+		}
+		p := o.Pos()
+		if p == token.NoPos || p < e.ctxStart || p >= e.ctxEnd {
+			return false
+		}
+		if r.HolderOutside(o, e.ctxStart, e.ctxEnd) {
+			return false
+		}
+	}
+	return true
 }
 
 // handleRangeVars introduces the key/value variables of a range loop.
@@ -344,6 +427,9 @@ func (e *env) classifyWrite(lhs ast.Expr) {
 		if op.ok {
 			return
 		}
+		if e.ptsOwned(root) {
+			return
+		}
 		if tv, ok := e.info().Types[root]; ok && tv.Type != nil {
 			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
 				// A shared map's entries are never index-disjoint:
@@ -381,6 +467,9 @@ func (e *env) classifyWrite(lhs ast.Expr) {
 		}
 		// A pointer to a freshly allocated value is worker-owned.
 		if op, _ := e.ownedProve(base); op.ok {
+			return
+		}
+		if e.ptsOwned(base) {
 			return
 		}
 		e.flagShared(x.Pos(), types.ExprString(x))

@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Waiver is one //vet:<analyzer> suppression directive. A directive
+// waives findings of its analyzer on its own line or the line below
+// (so it can sit above the statement it excuses). The justification —
+// everything after the analyzer name — is mandatory; analyzers report
+// bare directives instead of honoring them.
+type Waiver struct {
+	Analyzer      string
+	Pos           token.Pos
+	File          string
+	Line          int
+	Justification string
+
+	used bool
+}
+
+// MarkUsed records that the waiver suppressed a finding this run. The
+// -waivers audit reports directives that no analyzer marked: they are
+// stale and must be deleted, not left to rot.
+func (w *Waiver) MarkUsed() { w.used = true }
+
+// Used reports whether the waiver suppressed a finding this run.
+func (w *Waiver) Used() bool { return w.used }
+
+// WaiverSet indexes one analyzer's directives by file and line.
+type WaiverSet struct {
+	byKey map[string]*Waiver
+	fset  *token.FileSet
+}
+
+// At returns the directive on pos's line shifted by lineDelta, if any.
+func (ws *WaiverSet) At(pos token.Pos, lineDelta int) *Waiver {
+	if ws == nil || ws.fset == nil {
+		return nil
+	}
+	p := ws.fset.Position(pos)
+	return ws.byKey[fmt.Sprintf("%s:%d", p.Filename, p.Line+lineDelta)]
+}
+
+// Covering returns the directive that waives a finding at pos: on the
+// same line or the line above.
+func (ws *WaiverSet) Covering(pos token.Pos) *Waiver {
+	if w := ws.At(pos, 0); w != nil {
+		return w
+	}
+	return ws.At(pos, -1)
+}
+
+// All returns the set's directives sorted by file then line.
+func (ws *WaiverSet) All() []*Waiver {
+	if ws == nil {
+		return nil
+	}
+	out := make([]*Waiver, 0, len(ws.byKey))
+	for _, w := range ws.byKey {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}
+
+// parseWaiverComment splits a comment's text into the directive's
+// analyzer name and justification. ok is false for non-directive
+// comments. Accepts //vet:name and /*vet:name*/ forms.
+func parseWaiverComment(text string) (name, justification string, ok bool) {
+	switch {
+	case strings.HasPrefix(text, "//"):
+		text = text[2:]
+	case strings.HasPrefix(text, "/*"):
+		text = strings.TrimSuffix(text[2:], "*/")
+	}
+	const prefix = "vet:"
+	if !strings.HasPrefix(text, prefix) {
+		return "", "", false
+	}
+	rest := text[len(prefix):]
+	end := 0
+	for end < len(rest) {
+		c := rest[end]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') {
+			break
+		}
+		end++
+	}
+	if end == 0 {
+		return "", "", false
+	}
+	return rest[:end], strings.TrimSpace(rest[end:]), true
+}
+
+// WaiverDirectives scans every comment of pkgs and returns all vet:
+// directives, any analyzer name, sorted by file then line. The -waivers
+// inventory starts here; analyzers use Module.Waivers for the cached
+// per-analyzer view whose used-marks the audit observes.
+func WaiverDirectives(pkgs []*Package) []*Waiver {
+	var out []*Waiver
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, cm := range cg.List {
+					name, just, ok := parseWaiverComment(cm.Text)
+					if !ok {
+						continue
+					}
+					p := pkg.Fset.Position(cm.Pos())
+					out = append(out, &Waiver{
+						Analyzer:      name,
+						Pos:           cm.Pos(),
+						File:          p.Filename,
+						Line:          p.Line,
+						Justification: just,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}
+
+// collectWaiverSet builds the per-analyzer index over pkgs.
+func collectWaiverSet(pkgs []*Package, analyzer string) *WaiverSet {
+	ws := &WaiverSet{byKey: map[string]*Waiver{}}
+	if len(pkgs) > 0 {
+		ws.fset = pkgs[0].Fset
+	}
+	for _, w := range WaiverDirectives(pkgs) {
+		if w.Analyzer != analyzer {
+			continue
+		}
+		ws.byKey[fmt.Sprintf("%s:%d", w.File, w.Line)] = w
+	}
+	return ws
+}

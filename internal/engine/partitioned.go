@@ -85,6 +85,27 @@ func (e *Engine) partitioned() *partState {
 	return e.prt
 }
 
+// ValidateExchange runs the Mailboxes debug assertions over the
+// partitioned scaffolding's exchange buffers — the traversal mailboxes
+// and, when delta-stepping ran, the SSSP mailboxes. Between traversals
+// every box must be drained (requireEmpty); an engine that never entered
+// partitioned mode validates trivially. The metamorphic suites call this
+// on every engine a workload builds, so a phase-discipline violation
+// surfaces across all workloads and partition counts instead of only in
+// the partitioned differential test.
+func (e *Engine) ValidateExchange(requireEmpty bool) error {
+	if e.prt == nil {
+		return nil
+	}
+	if err := e.prt.mail.Validate(requireEmpty); err != nil {
+		return err
+	}
+	if e.prt.sssp != nil {
+		return e.prt.sssp.mail.Validate(requireEmpty)
+	}
+	return nil
+}
+
 func (ps *partState) nextStamp() int64 {
 	ps.stamp++
 	return ps.stamp

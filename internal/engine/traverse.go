@@ -165,7 +165,7 @@ func (e *Engine) pushRound(spec *Spec, cur, next *concurrent.Frontier, round int
 		for _, v := range vw.Adj(u) {
 			if atomic.LoadInt32(&dist[v]) < 0 && atomic.CompareAndSwapInt32(&dist[v], -1, round) {
 				if spec.Labels != nil {
-					spec.Labels[v] = spec.Label //vet:sharedwrite the CAS on dist[v] admits exactly one winner per vertex; pinned by TestTraverseDirectionOptimizedMatchesPush under -race
+					spec.Labels[v] = spec.Label
 				}
 				if spec.Visit != nil {
 					spec.Visit(v, round)

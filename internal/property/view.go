@@ -330,12 +330,17 @@ func (vw *View) resolve(directed bool, workers int) {
 	wts := make([]float64, deg)
 	concurrent.ParallelRange(n, workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			p := off[i]
+			// Each vertex fills its own CSR row [off[i], off[i+1]), disjoint
+			// across i by prefixSum32 — cutting the rows out makes them
+			// worker-owned windows the prover verifies.
+			row := nbr[off[i]:off[i+1]]
+			wrow := wts[off[i]:off[i+1]]
+			p := 0
 			out := vw.Verts[i].Out
 			for k := range out {
 				if j := indexOf(out[k].To); j >= 0 {
-					nbr[p] = j //vet:sharedwrite p sweeps [off[i], off[i+1]), disjoint across i by prefixSum32; pinned by TestViewParallelMatchesReference
-					wts[p] = out[k].Weight //vet:sharedwrite same off-window argument as the nbr write above
+					row[p] = j
+					wrow[p] = out[k].Weight
 					p++
 				}
 			}
@@ -436,7 +441,7 @@ func reverseCSR(n int, off, nbr []int32, workers int) (inOff, inNbr []int32) {
 			var run int32
 			for wi := 0; wi < w; wi++ {
 				c := hist[wi*n+j]
-				hist[wi*n+j] = run //vet:sharedwrite the j windows are worker-disjoint, so rows wi*n+j never collide; pinned by TestReverseCSRParallelMatchesSerial
+				hist[wi*n+j] = run
 				run += c
 			}
 			inOff[j+1] = run
@@ -519,10 +524,14 @@ func (vw *View) applyOrder(perm []int32, directed bool, workers int) {
 	concurrent.ParallelRange(n, workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			o := perm[i]
-			s, d := oldOff[o], off[i]
-			for k := int32(0); k < off[i+1]-d; k++ {
-				nbr[d+k] = inv[oldNbr[s+k]] //vet:sharedwrite d+k sweeps [off[i], off[i+1]), disjoint across i by prefixSum32; pinned by TestViewOrderComposition
-				wts[d+k] = oldWts[s+k] //vet:sharedwrite same off-window argument as the nbr write above
+			s := oldOff[o]
+			// Row [off[i], off[i+1]) is vertex i's alone (prefixSum32), so
+			// the cut slices are worker-owned windows the prover verifies.
+			row := nbr[off[i]:off[i+1]]
+			wrow := wts[off[i]:off[i+1]]
+			for k := range row {
+				row[k] = inv[oldNbr[s+Index32(k)]]
+				wrow[k] = oldWts[s+Index32(k)]
 			}
 		}
 	})

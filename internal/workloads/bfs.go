@@ -33,7 +33,7 @@ func BFS(g *property.Graph, opt Options) (*Result, error) {
 		return nil, err
 	}
 	t := g.Tracker()
-	eng := engine.New(g, vw, opt.Workers)
+	eng := newEngine(g, vw, opt.Workers, opt.engineSink)
 	qSim := newSimArr(g, n, 4)
 
 	dist := make([]int32, n)

@@ -36,7 +36,7 @@ func BFSDirOpt(g *property.Graph, opt Options) (*Result, error) {
 		return bfsDirOptTracked(g, vw, lvl, srcIdx, opt)
 	}
 
-	eng := engine.New(g, vw, opt.Workers)
+	eng := newEngine(g, vw, opt.Workers, opt.engineSink)
 	dist := make([]int32, n)
 	for i := range dist {
 		dist[i] = -1

@@ -29,7 +29,7 @@ func CComp(g *property.Graph, opt Options) (*Result, error) {
 		v.SetPropRaw(lbl, -1)
 	}
 	t := g.Tracker()
-	eng := engine.New(g, vw, opt.Workers)
+	eng := newEngine(g, vw, opt.Workers, opt.engineSink)
 	qSim := newSimArr(g, n, 4)
 
 	dist := make([]int32, n)

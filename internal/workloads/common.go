@@ -22,6 +22,7 @@ package workloads
 import (
 	"errors"
 
+	"github.com/graphbig/graphbig-go/internal/engine"
 	"github.com/graphbig/graphbig-go/internal/mem"
 	"github.com/graphbig/graphbig-go/internal/partition"
 	"github.com/graphbig/graphbig-go/internal/property"
@@ -58,6 +59,15 @@ type Options struct {
 	// PartitionMode picks the balance target (edge- or vertex-balanced
 	// contiguous chunking) for the plan built when Partitions > 0.
 	PartitionMode partition.Mode
+	// engineSink, when non-nil, collects every engine the run constructs
+	// (threaded through the newEngine funnel). The metamorphic suites set
+	// it to assert the exchange-buffer phase discipline after each run;
+	// production code leaves it nil. Deliberately a caller-owned sink, not
+	// a package-level registry or callback, so engines never become
+	// reachable from package-level or extern state (which would trip the
+	// aliasleak analyzer — correctly, since its escape model is
+	// flow-insensitive).
+	engineSink *[]*engine.Engine
 }
 
 // Result is the outcome of one workload run.

@@ -2,7 +2,6 @@ package workloads
 
 import (
 	"github.com/graphbig/graphbig-go/internal/concurrent"
-	"github.com/graphbig/graphbig-go/internal/engine"
 	"github.com/graphbig/graphbig-go/internal/property"
 )
 
@@ -32,7 +31,7 @@ func DCentr(g *property.Graph, opt Options) (*Result, error) {
 		norm = 1 / float64(n-1)
 	}
 	if t == nil {
-		eng := engine.New(g, vw, opt.Workers)
+		eng := newEngine(g, vw, opt.Workers, opt.engineSink)
 		sum := 0.0
 		eng.ForVertices(256, func(i int) {
 			deg := int(vw.Degree(property.Index32(i)))

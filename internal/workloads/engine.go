@@ -1,0 +1,17 @@
+package workloads
+
+import (
+	"github.com/graphbig/graphbig-go/internal/engine"
+	"github.com/graphbig/graphbig-go/internal/property"
+)
+
+// newEngine is the single construction funnel for workload engines — all
+// workloads build theirs here so the Options.engineSink test hook sees
+// every one.
+func newEngine(g *property.Graph, vw *property.View, workers int, sink *[]*engine.Engine) *engine.Engine {
+	e := engine.New(g, vw, workers)
+	if sink != nil {
+		*sink = append(*sink, e)
+	}
+	return e
+}

@@ -4,7 +4,6 @@ import (
 	"sync/atomic"
 
 	"github.com/graphbig/graphbig-go/internal/concurrent"
-	"github.com/graphbig/graphbig-go/internal/engine"
 	"github.com/graphbig/graphbig-go/internal/property"
 )
 
@@ -43,7 +42,7 @@ func GColor(g *property.Graph, opt Options) (*Result, error) {
 		return gcolorTracked(g, vw, col, prio, maxIters, opt)
 	}
 
-	eng := engine.New(g, vw, opt.Workers)
+	eng := newEngine(g, vw, opt.Workers, opt.engineSink)
 	colors := make([]int64, n)
 	for i := range colors {
 		colors[i] = -1
@@ -52,6 +51,9 @@ func GColor(g *property.Graph, opt Options) (*Result, error) {
 	for i := range work {
 		work[i] = property.Index32(i)
 	}
+	// win[k] records whether work[k] won its round. It is indexed by work
+	// position (not vertex) so the phase-1 write is provably item-distinct;
+	// both phases scan the same work slice, so positions agree.
 	win := make([]bool, n)
 
 	rounds := 0
@@ -74,14 +76,14 @@ func GColor(g *property.Graph, opt Options) (*Result, error) {
 					break
 				}
 			}
-			win[vi] = isMax //vet:sharedwrite work holds each uncolored vertex at most once, so vi is distinct across items; pinned by TestQuickGColorProper
+			win[k] = isMax
 		})
 		// Phase 2: winners (an independent set) take the smallest color
 		// absent from their colored neighborhood.
 		nextWork := concurrent.NewFrontier(len(work))
 		eng.ForItems(len(work), 32, func(k int) {
 			vi := work[k]
-			if !win[vi] {
+			if !win[k] {
 				nextWork.Push(vi)
 				return
 			}

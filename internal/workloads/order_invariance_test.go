@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"github.com/graphbig/graphbig-go/internal/engine"
 	"github.com/graphbig/graphbig-go/internal/order"
 	"github.com/graphbig/graphbig-go/internal/property"
 )
@@ -20,16 +21,42 @@ import (
 
 type runWorkload func(g *property.Graph, opt Options) (*Result, error)
 
+// validateEngines returns an Options.engineSink that captures every engine
+// the workload under test constructs, plus a function asserting the
+// exchange-buffer phase discipline on each one: after a run, every mailbox
+// epoch must be sealed with all messages drained
+// (Engine.ValidateExchange(true), which walks both the engine's bitset
+// exchange and the SSSP bucket exchange). Workloads that never enter
+// partitioned mode validate trivially, so the check is safe to apply
+// uniformly across the metamorphic suites.
+func validateEngines(t *testing.T) (*[]*engine.Engine, func()) {
+	t.Helper()
+	var engines []*engine.Engine
+	check := func() {
+		if len(engines) == 0 {
+			return
+		}
+		for _, e := range engines {
+			if err := e.ValidateExchange(true); err != nil {
+				t.Fatalf("exchange phase discipline violated after run: %v", err)
+			}
+		}
+	}
+	return &engines, check
+}
+
 // propsByID runs fn on a fresh copy of the seed graph viewed under ord and
 // returns field values keyed by VertexID.
 func propsByID(t *testing.T, seed uint64, ord property.OrderFunc, fn runWorkload, field string, samples int) map[property.VertexID]float64 {
 	t.Helper()
 	g := randomGraph(seed)
 	vw := g.ViewWith(property.ViewOpts{Order: ord})
-	_, err := fn(g, Options{View: vw, Source: 0, Seed: int64(seed), Samples: samples})
+	sink, check := validateEngines(t)
+	_, err := fn(g, Options{View: vw, Source: 0, Seed: int64(seed), Samples: samples, engineSink: sink})
 	if err != nil {
 		t.Fatalf("seed %d: %v", seed, err)
 	}
+	check()
 	slot := g.Schema().MustField(field)
 	out := make(map[property.VertexID]float64, vw.Len())
 	for _, v := range vw.Verts {

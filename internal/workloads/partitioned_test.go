@@ -27,10 +27,12 @@ func partPropsByID(t *testing.T, seed uint64, k int, fn runWorkload, field strin
 	t.Helper()
 	g := randomGraph(seed)
 	vw := g.ViewWith(property.ViewOpts{Partitions: k})
-	_, err := fn(g, Options{View: vw, Source: 0, Seed: int64(seed), Samples: samples})
+	sink, check := validateEngines(t)
+	_, err := fn(g, Options{View: vw, Source: 0, Seed: int64(seed), Samples: samples, engineSink: sink})
 	if err != nil {
 		t.Fatalf("seed %d k %d: %v", seed, k, err)
 	}
+	check()
 	slot := g.Schema().MustField(field)
 	out := make(map[property.VertexID]float64, vw.Len())
 	for _, v := range vw.Verts {

@@ -6,7 +6,6 @@ import (
 	"sync/atomic"
 
 	"github.com/graphbig/graphbig-go/internal/concurrent"
-	"github.com/graphbig/graphbig-go/internal/engine"
 	"github.com/graphbig/graphbig-go/internal/property"
 )
 
@@ -77,7 +76,7 @@ func SPathDelta(g *property.Graph, opt Options) (*Result, error) {
 	if plan := vw.Partitions(); plan != nil && !tracked && opt.MaxIters <= 0 {
 		dist[srcIdx] = 0
 		g.SetProp(vw.Verts[srcIdx], distF, 0)
-		eng := engine.New(g, vw, w)
+		eng := newEngine(g, vw, w, opt.engineSink)
 		pst := eng.PartitionedSSSP(dist, delta, srcIdx)
 		settled := int64(0)
 		sum := 0.0
