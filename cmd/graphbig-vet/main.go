@@ -51,12 +51,14 @@ import (
 	"github.com/graphbig/graphbig-go/internal/analysis/aliasleak"
 	"github.com/graphbig/graphbig-go/internal/analysis/atomichygiene"
 	"github.com/graphbig/graphbig-go/internal/analysis/boundscheck"
+	"github.com/graphbig/graphbig-go/internal/analysis/constprop"
 	"github.com/graphbig/graphbig-go/internal/analysis/determinism"
 	"github.com/graphbig/graphbig-go/internal/analysis/divmod"
 	"github.com/graphbig/graphbig-go/internal/analysis/escape"
 	"github.com/graphbig/graphbig-go/internal/analysis/hotloop"
 	"github.com/graphbig/graphbig-go/internal/analysis/immutview"
 	"github.com/graphbig/graphbig-go/internal/analysis/lockset"
+	"github.com/graphbig/graphbig-go/internal/analysis/nilness"
 	"github.com/graphbig/graphbig-go/internal/analysis/overflowconv"
 	"github.com/graphbig/graphbig-go/internal/analysis/phasediscipline"
 	"github.com/graphbig/graphbig-go/internal/analysis/purity"
@@ -86,6 +88,8 @@ func Analyzers() []*analysis.Analyzer {
 		sharedwrite.Analyzer,
 		immutview.Analyzer,
 		aliasleak.Analyzer,
+		nilness.Analyzer,
+		constprop.Analyzer,
 	}
 }
 
@@ -167,11 +171,17 @@ func main() {
 	runList := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 	waivers := flag.Bool("waivers", false, "audit //vet:* directives: print the inventory, fail on stale or unjustified ones")
 	timings := flag.Bool("timings", false, "print per-analyzer wall-clock to stderr")
+	timingsOut := flag.String("timings-out", "", "write per-analyzer wall-clock as a JSON array to this file (the CI trajectory artifact)")
 	budget := flag.Duration("budget", 0, "fail if total analyzer wall-clock exceeds this duration (0 = no limit)")
+	list := flag.Bool("list", false, "print every registered analyzer with its one-line doc and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: graphbig-vet [-run a,b,...] [-waivers] [-timings] [-budget 120s] [-json] [-debug=ranges] [packages]\n\nanalyzers:\n%s", analysis.Doc(Analyzers()))
+		fmt.Fprintf(os.Stderr, "usage: graphbig-vet [-list] [-run a,b,...] [-waivers] [-timings] [-timings-out f.json] [-budget 120s] [-json] [-debug=ranges] [packages]\n\nanalyzers:\n%s", analysis.Doc(Analyzers()))
 	}
 	flag.Parse()
+	if *list {
+		fmt.Print(analysis.Doc(Analyzers()))
+		return
+	}
 	switch *debug {
 	case "":
 	case "ranges":
@@ -199,6 +209,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "graphbig-vet: %-16s %8.3fs\n", t.Analyzer, t.Seconds)
 		}
 		fmt.Fprintf(os.Stderr, "graphbig-vet: %-16s %8.3fs\n", "total", total)
+	}
+	if *timingsOut != "" {
+		buf, err := json.MarshalIndent(res.Timings, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*timingsOut, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graphbig-vet:", err)
+			os.Exit(2)
+		}
 	}
 	fail := false
 	if *waivers {

@@ -13,7 +13,7 @@ import (
 // multichecker with documentation and a runner (per-package or module).
 func TestAnalyzersRegistered(t *testing.T) {
 	as := Analyzers()
-	want := []string{"determinism", "trackedprim", "hotloop", "atomichygiene", "escape", "lockset", "purity", "boundscheck", "overflowconv", "divmod", "spawnsite", "wgbalance", "phasediscipline", "sharedwrite", "immutview", "aliasleak"}
+	want := []string{"determinism", "trackedprim", "hotloop", "atomichygiene", "escape", "lockset", "purity", "boundscheck", "overflowconv", "divmod", "spawnsite", "wgbalance", "phasediscipline", "sharedwrite", "immutview", "aliasleak", "nilness", "constprop"}
 	if len(as) != len(want) {
 		t.Fatalf("Analyzers() = %d analyzers, want %d", len(as), len(want))
 	}
@@ -21,7 +21,7 @@ func TestAnalyzersRegistered(t *testing.T) {
 		"escape": true, "lockset": true, "purity": true,
 		"boundscheck": true, "overflowconv": true, "divmod": true,
 		"spawnsite": true, "wgbalance": true, "phasediscipline": true, "sharedwrite": true,
-		"immutview": true, "aliasleak": true,
+		"immutview": true, "aliasleak": true, "nilness": true, "constprop": true,
 	}
 	for i, a := range as {
 		if a.Name != want[i] {

@@ -115,6 +115,28 @@ func (c *CFG) Reachable() []*Block {
 	return order
 }
 
+// PostOrder returns the reachable blocks in depth-first postorder:
+// every block appears after all successors first reached through it.
+// Reversing the slice yields the reverse postorder that iterative
+// dataflow and the SSA dominator construction traverse.
+func (c *CFG) PostOrder() []*Block {
+	seen := make([]bool, len(c.Blocks))
+	var order []*Block
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			visit(s)
+		}
+		order = append(order, b)
+	}
+	visit(c.Entry)
+	return order
+}
+
 // BlockOf returns the reachable block holding the smallest node that
 // spans pos, or nil. Smallest-span wins because loop-head blocks carry
 // their whole statement (a RangeStmt's span covers its body) while the

@@ -1,0 +1,17 @@
+package constprop_test
+
+import (
+	"testing"
+
+	"github.com/graphbig/graphbig-go/internal/analysis"
+	"github.com/graphbig/graphbig-go/internal/analysis/constprop"
+)
+
+// TestConstprop covers the SCCP verdicts: dead arms of conditions made
+// constant by value flow (same-constant joins, dead-edge pruning,
+// folded arithmetic, short-circuit halves, zero values) and the
+// silence obligations: loop conditions that are only first-iteration
+// true, typechecker-folded flags, and parameter-dependent branches.
+func TestConstprop(t *testing.T) {
+	analysis.RunTest(t, constprop.Analyzer, "internal/engine")
+}

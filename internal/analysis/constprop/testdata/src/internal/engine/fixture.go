@@ -1,0 +1,126 @@
+// Package engine exercises the constprop analyzer: conditions that
+// become constant through value flow are reported with their dead arm;
+// typechecker-folded conditions, loop tests, and parameter-dependent
+// branches stay silent.
+package engine
+
+// debugTrace is a deliberate build flag: the type checker folds it, so
+// constprop must not report it.
+const debugTrace = false
+
+func deadElse() int {
+	x := 1
+	if x == 1 { // want `condition is always true; the false branch is unreachable`
+		return 10
+	}
+	return 20
+}
+
+func alwaysFalseGuard(n int) int {
+	limit := 0
+	if limit > 0 { // want `condition is always false; the true branch is unreachable`
+		return n / limit
+	}
+	return n
+}
+
+// sccpPrecision: the same constant flows down both arms, so the meet
+// at the join is still constant.
+func sccpPrecision(c bool) int {
+	x := 1
+	if c {
+		x = 1
+	}
+	if x == 1 { // want `condition is always true; the false branch is unreachable`
+		return 1
+	}
+	return 0
+}
+
+// deadBranchDoesNotPollute: the write to x sits behind a provably-false
+// test; SCCP never executes that edge, so x is still 1 at the join —
+// the conditional-executability half of the algorithm.
+func deadBranchDoesNotPollute() int {
+	x := 1
+	one := 1
+	if one != 1 { // want `condition is always false; the true branch is unreachable`
+		x = 2
+	}
+	if x == 1 { // want `condition is always true; the false branch is unreachable`
+		return 1
+	}
+	return 0
+}
+
+func zeroValueFolds() int {
+	var k int
+	if k == 0 { // want `condition is always true; the false branch is unreachable`
+		return 1
+	}
+	return 0
+}
+
+func arithmeticFolds() int {
+	a := 3
+	b := 4
+	if a*a+b*b == 25 { // want `condition is always true; the false branch is unreachable`
+		return 1
+	}
+	return 0
+}
+
+// shortCircuitHalves: && splits into two condition blocks; only the
+// constant left half is reported, the parameter-dependent right half
+// stays silent.
+func shortCircuitHalves(n int) int {
+	a := 3
+	if a == 3 && n > 0 { // want `condition is always true; the false branch is unreachable`
+		return n
+	}
+	return 0
+}
+
+// loopStaysSilent: i < n is true when first reached but top at the
+// fixed point (the increment is opaque); post-fixpoint reporting keeps
+// loop conditions quiet.
+func loopStaysSilent(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+
+func explicitIncrementLoopStaysSilent() int {
+	s := 0
+	for i := 0; i < 3; i = i + 1 {
+		s += i
+	}
+	return s
+}
+
+func namedConstStaysSilent() int {
+	if debugTrace {
+		return 1
+	}
+	return 0
+}
+
+func paramStaysSilent(flag bool) int {
+	if flag {
+		return 1
+	}
+	return 0
+}
+
+// closuresAnalyzeSeparately: constants do not leak across the closure
+// boundary, but a closure's own constant condition is found.
+func closuresAnalyzeSeparately(run func(func() int)) {
+	run(func() int {
+		y := 2
+		if y == 2 { // want `condition is always true; the false branch is unreachable`
+			return 1
+		}
+		return 0
+	})
+}

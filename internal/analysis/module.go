@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fmt"
+	"go/ast"
 	"go/token"
 	"sort"
 	"sync"
@@ -18,7 +19,7 @@ type Module struct {
 
 	mu      sync.Mutex
 	cg      *CallGraph
-	cfgs    map[*CGNode]*CFG
+	cfgs    map[ast.Node]*CFG
 	ranges  *RangeInfo
 	waivers map[string]*WaiverSet
 }
@@ -26,7 +27,7 @@ type Module struct {
 // NewModule wraps pkgs (which must share one FileSet, as Loader
 // guarantees) into a Module.
 func NewModule(pkgs []*Package) *Module {
-	m := &Module{Pkgs: pkgs, cfgs: map[*CGNode]*CFG{}}
+	m := &Module{Pkgs: pkgs, cfgs: map[ast.Node]*CFG{}}
 	if len(pkgs) > 0 {
 		m.Fset = pkgs[0].Fset
 	}
@@ -74,12 +75,20 @@ func (m *Module) Waivers(analyzer string) *WaiverSet {
 
 // CFGOf returns the control-flow graph of a declared node, cached.
 func (m *Module) CFGOf(n *CGNode) *CFG {
+	return m.CFGOfFunc(n.Decl)
+}
+
+// CFGOfFunc returns the control-flow graph of any function syntax node —
+// an *ast.FuncDecl or *ast.FuncLit — cached by node. The SSA layer uses
+// it to share one CFG per function literal across analyzers instead of
+// rebuilding per analysis.
+func (m *Module) CFGOfFunc(fn ast.Node) *CFG {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	c, ok := m.cfgs[n]
+	c, ok := m.cfgs[fn]
 	if !ok {
-		c = BuildCFG(n.Decl)
-		m.cfgs[n] = c
+		c = BuildCFG(fn)
+		m.cfgs[fn] = c
 	}
 	return c
 }

@@ -100,22 +100,7 @@ func VetAll(analyzers []*Analyzer, patterns ...string) (*VetResult, error) {
 			finds = append(finds, Finding{File: pos.Filename, Line: pos.Line, Col: pos.Column, Analyzer: d.Analyzer, Message: d.Message})
 		}
 	}
-	sort.Slice(finds, func(i, j int) bool {
-		a, b := finds[i], finds[j]
-		if a.File != b.File {
-			return a.File < b.File
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		if a.Col != b.Col {
-			return a.Col < b.Col
-		}
-		if a.Analyzer != b.Analyzer {
-			return a.Analyzer < b.Analyzer
-		}
-		return a.Message < b.Message
-	})
+	SortFindings(finds)
 	res := &VetResult{Findings: finds}
 	for i, a := range analyzers {
 		res.Timings = append(res.Timings, AnalyzerTiming{Analyzer: a.Name, Seconds: elapsed[i].Seconds()})
@@ -157,6 +142,36 @@ func auditWaivers(m *Module, analyzers []*Analyzer) []WaiverRecord {
 			Unknown:       true,
 		})
 	}
+	SortWaiverRecords(recs)
+	return recs
+}
+
+// SortFindings orders findings deterministically by (file, line, col,
+// analyzer, message) — the contract the -json output and CI artifact
+// diffs rely on: two runs over the same tree produce byte-identical
+// output regardless of analyzer scheduling.
+func SortFindings(finds []Finding) {
+	sort.Slice(finds, func(i, j int) bool {
+		a, b := finds[i], finds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// SortWaiverRecords orders the -waivers inventory deterministically by
+// (file, line, analyzer), the same stability contract as SortFindings.
+func SortWaiverRecords(recs []WaiverRecord) {
 	sort.Slice(recs, func(i, j int) bool {
 		if recs[i].File != recs[j].File {
 			return recs[i].File < recs[j].File
@@ -166,7 +181,6 @@ func auditWaivers(m *Module, analyzers []*Analyzer) []WaiverRecord {
 		}
 		return recs[i].Analyzer < recs[j].Analyzer
 	})
-	return recs
 }
 
 // VetFindings runs VetAll and returns just the findings.

@@ -1,0 +1,350 @@
+// Package nilness reports proven nil dereferences and redundant nil
+// checks along the View/Engine/partition paths, using branch-refined
+// SSA facts.
+//
+// The lattice per SSA value is {unknown, isnil, nonnil}: a definition's
+// base fact comes from the shape of its defining expression (the nil
+// literal, &composite, make/new, a copy of another tracked value), phis
+// meet their arguments, and the dominator-tree walk refines facts on
+// the edges of `x == nil` / `x != nil` conditions — a block whose sole
+// predecessor is the true edge of `x == nil` sees x as nil throughout
+// the region it dominates. Everything not provable is unknown and never
+// reported, so the analyzer stays silent on defensive checks against
+// values produced by calls.
+//
+// Two findings:
+//
+//   - "proven nil dereference": *x, x.f through a pointer, x[i] on a
+//     slice, or x(...) of a func value whose fact is isnil;
+//   - "redundant nil check": a nil comparison whose outcome is already
+//     decided by the facts (always-nil or never-nil operand).
+package nilness
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/graphbig/graphbig-go/internal/analysis"
+	"github.com/graphbig/graphbig-go/internal/analysis/ssa"
+)
+
+// Analyzer is the nilness module analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:      "nilness",
+	Doc:       "SSA nil tracking: proven nil dereferences and redundant nil checks on View/Engine/partition paths",
+	RunModule: run,
+}
+
+var scope = []string{
+	"internal/engine",
+	"internal/concurrent",
+	"internal/property",
+	"internal/partition",
+	"internal/workloads",
+	"internal/order",
+}
+
+type fact uint8
+
+const (
+	bottom fact = iota // unreached
+	isnil
+	nonnil
+	unknown
+)
+
+func meet(a, b fact) fact {
+	switch {
+	case a == bottom:
+		return b
+	case b == bottom:
+		return a
+	case a == b:
+		return a
+	default:
+		return unknown
+	}
+}
+
+func run(mp *analysis.ModulePass) error {
+	m := mp.Module
+	info := ssa.Of(m)
+	for _, n := range m.CallGraph().Declared() {
+		if n.Pkg == nil || !analysis.HasPathSuffix(n.Pkg.PkgPath, scope...) {
+			continue
+		}
+		c := &checker{mp: mp, pkg: n.Pkg, reported: map[token.Pos]bool{}}
+		c.checkFunc(info.FuncOf(n.Pkg, n.Decl))
+		for _, lit := range analysis.FuncLits(n.Decl) {
+			c.checkFunc(info.FuncOf(n.Pkg, lit))
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	mp       *analysis.ModulePass
+	pkg      *analysis.Package
+	fn       *ssa.Func
+	base     map[*ssa.Def]fact
+	reported map[token.Pos]bool
+}
+
+// nilable reports whether facts about v are meaningful: pointers,
+// slices, maps, channels, funcs, and interfaces can be nil.
+func nilable(v *types.Var) bool {
+	switch v.Type().Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	}
+	return false
+}
+
+func (c *checker) checkFunc(fn *ssa.Func) {
+	c.fn = fn
+	tinfo := c.pkg.TypesInfo
+	c.base = ssa.Fixpoint(fn, bottom,
+		func(a, b fact) bool { return a == b },
+		func(d *ssa.Def, get func(*ssa.Def) fact) fact {
+			if !nilable(d.Var) {
+				return unknown
+			}
+			switch d.Kind {
+			case ssa.DefZero:
+				return isnil
+			case ssa.DefAssign:
+				return c.rhsFact(tinfo, d.Rhs, get)
+			case ssa.DefPhi:
+				out := bottom
+				for _, a := range d.Args {
+					if a != nil {
+						out = meet(out, get(a))
+					}
+				}
+				return out
+			default:
+				return unknown
+			}
+		})
+	c.visit(fn.CFG.Entry, map[*ssa.Def]fact{})
+}
+
+// rhsFact derives a fact from the shape of a defining expression.
+func (c *checker) rhsFact(tinfo *types.Info, e ast.Expr, get func(*ssa.Def) fact) fact {
+	e = ast.Unparen(e)
+	if tv, ok := tinfo.Types[e]; ok && tv.IsNil() {
+		return isnil
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if d, ok := c.fn.UseDef[e]; ok {
+			return get(d)
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return nonnil
+		}
+	case *ast.CompositeLit, *ast.FuncLit:
+		return nonnil
+	case *ast.CallExpr:
+		// The builtins new and make never return nil.
+		if b, ok := tinfo.Uses[identOf(e.Fun)].(*types.Builtin); ok {
+			switch {
+			case b.Name() == "new" || b.Name() == "make":
+				return nonnil
+			case b.Name() == "append" && len(e.Args) > 1:
+				// Appending at least one element yields a non-empty,
+				// hence non-nil, slice. (Bare append(s) may return nil.)
+				return nonnil
+			}
+		}
+	}
+	return unknown
+}
+
+func identOf(e ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(e).(*ast.Ident)
+	return id
+}
+
+// factOf resolves a use identifier's fact under the current overrides.
+func (c *checker) factOf(env map[*ssa.Def]fact, id *ast.Ident) (fact, bool) {
+	d, ok := c.fn.UseDef[id]
+	if !ok {
+		return unknown, false
+	}
+	if f, ok := env[d]; ok {
+		return f, true
+	}
+	return c.base[d], true
+}
+
+// visit walks the dominator tree carrying branch-refined overrides.
+func (c *checker) visit(b *analysis.Block, env map[*ssa.Def]fact) {
+	for _, n := range b.Nodes {
+		switch n.(type) {
+		case *ast.RangeStmt, *ast.SelectStmt:
+			// Head blocks carry the whole statement for position lookups;
+			// the operand and bodies are scanned in their own blocks.
+			continue
+		}
+		if b.Kind == "defer.run" {
+			continue // the registration point already scanned this call
+		}
+		c.scanDerefs(env, n)
+	}
+	if b.Cond != nil {
+		if id, _ := nilCompare(c.pkg.TypesInfo, b.Cond); id != nil {
+			if f, ok := c.factOf(env, id); ok && (f == isnil || f == nonnil) && !c.reported[b.Cond.Pos()] {
+				c.reported[b.Cond.Pos()] = true
+				state := "always"
+				if f == nonnil {
+					state = "never"
+				}
+				c.mp.Report(b.Cond.Pos(), "redundant nil check: %s is %s nil here", id.Name, state)
+			}
+		}
+	}
+	for _, child := range c.fn.Dom.Children(b) {
+		saved := map[*ssa.Def]fact{}
+		applied := c.refine(b, child, env, saved)
+		c.visit(child, env)
+		for d := range applied {
+			if f, ok := saved[d]; ok {
+				env[d] = f
+			} else {
+				delete(env, d)
+			}
+		}
+	}
+}
+
+// refine applies the branch fact on the b→child edge when child is the
+// true or false successor of a nil comparison and b is its only
+// reachable predecessor (so the region child dominates is entered only
+// through this edge). Returns the overridden defs; prior values are
+// stashed in saved.
+func (c *checker) refine(b, child *analysis.Block, env map[*ssa.Def]fact, saved map[*ssa.Def]fact) map[*ssa.Def]bool {
+	applied := map[*ssa.Def]bool{}
+	if b.Cond == nil {
+		return applied
+	}
+	var onTrue bool
+	switch {
+	case len(b.Succs) == 2 && b.Succs[0] == child:
+		onTrue = true
+	case len(b.Succs) == 2 && b.Succs[1] == child:
+		onTrue = false
+	default:
+		return applied
+	}
+	if !solePred(c.fn.Dom, child, b) {
+		return applied
+	}
+	id, eqNil := nilCompare(c.pkg.TypesInfo, b.Cond)
+	if id == nil {
+		return applied
+	}
+	d, ok := c.fn.UseDef[id]
+	if !ok {
+		return applied
+	}
+	f := isnil
+	if eqNil != onTrue {
+		f = nonnil
+	}
+	if old, ok := env[d]; ok {
+		saved[d] = old
+	}
+	env[d] = f
+	applied[d] = true
+	return applied
+}
+
+func solePred(dom *ssa.DomTree, child, b *analysis.Block) bool {
+	for _, p := range child.Preds {
+		if p != b && dom.Reachable(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// nilCompare matches `x == nil` / `nil == x` / `x != nil` on a tracked
+// identifier; eqNil reports whether the operator is ==.
+func nilCompare(tinfo *types.Info, cond ast.Expr) (id *ast.Ident, eqNil bool) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return nil, false
+	}
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	xNil := tinfo.Types[x].IsNil()
+	yNil := tinfo.Types[y].IsNil()
+	var other ast.Expr
+	switch {
+	case xNil && !yNil:
+		other = y
+	case yNil && !xNil:
+		other = x
+	default:
+		return nil, false
+	}
+	oid, ok := other.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	return oid, be.Op == token.EQL
+}
+
+// scanDerefs reports dereferences of proven-nil values in one node.
+func (c *checker) scanDerefs(env map[*ssa.Def]fact, n ast.Node) {
+	tinfo := c.pkg.TypesInfo
+	check := func(id *ast.Ident, what string) {
+		if f, ok := c.factOf(env, id); ok && f == isnil && !c.reported[id.Pos()] {
+			c.reported[id.Pos()] = true
+			c.mp.Report(id.Pos(), "proven nil dereference: %s of nil %s", what, id.Name)
+		}
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false // analyzed as its own SSA function
+		case *ast.StarExpr:
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+				check(id, "pointer indirection")
+			}
+		case *ast.SelectorExpr:
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+				if tv, ok := tinfo.Types[x.X]; ok && tv.Type != nil {
+					if _, ok := tv.Type.Underlying().(*types.Pointer); ok {
+						// Method values on nil pointers are legal; only field
+						// selection through the pointer dereferences it.
+						if sel, ok := tinfo.Selections[x]; ok && sel.Kind() == types.FieldVal {
+							check(id, "field selection")
+						}
+					}
+				}
+			}
+		case *ast.IndexExpr:
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+				if tv, ok := tinfo.Types[x.X]; ok && tv.Type != nil {
+					if _, ok := tv.Type.Underlying().(*types.Slice); ok {
+						check(id, "index")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+				if _, ok := tinfo.Uses[id].(*types.Var); ok {
+					if tv, ok := tinfo.Types[x.Fun]; ok && tv.Type != nil {
+						if _, ok := tv.Type.Underlying().(*types.Signature); ok {
+							check(id, "call")
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,17 @@
+package nilness_test
+
+import (
+	"testing"
+
+	"github.com/graphbig/graphbig-go/internal/analysis"
+	"github.com/graphbig/graphbig-go/internal/analysis/nilness"
+)
+
+// TestNilness covers proven dereferences (zero-value pointers, slices
+// and funcs, copies, branch-refined regions), redundant checks on
+// provably nil/non-nil values, and the silence obligations: merged
+// branches, parameters, defensive map checks, guarded loop bodies, and
+// closures analyzed as separate SSA functions.
+func TestNilness(t *testing.T) {
+	analysis.RunTest(t, nilness.Analyzer, "internal/engine")
+}

@@ -1,0 +1,128 @@
+// Package engine exercises the nilness analyzer: proven nil
+// dereferences and redundant nil checks are reported; values the facts
+// cannot decide (parameters, call results, merged branches) stay
+// silent, so defensive checks never fire.
+package engine
+
+type node struct {
+	next *node
+	val  int
+}
+
+func derefZeroPointer() int {
+	var p *node
+	return p.val // want `proven nil dereference: field selection of nil p`
+}
+
+func derefStar() int {
+	var p *int
+	return *p // want `proven nil dereference: pointer indirection of nil p`
+}
+
+func derefNilSlice() int {
+	var xs []int
+	return xs[0] // want `proven nil dereference: index of nil xs`
+}
+
+func callNilFunc() {
+	var f func()
+	f() // want `proven nil dereference: call of nil f`
+}
+
+func derefInsideNilBranch(p *node) int {
+	if p == nil {
+		return p.val // want `proven nil dereference: field selection of nil p`
+	}
+	return p.val // refined non-nil on the false edge: silent
+}
+
+func copyPropagatesNil() int {
+	var p *node
+	q := p
+	return q.val // want `proven nil dereference: field selection of nil q`
+}
+
+func redundantCheckOnFresh() int {
+	q := &node{}
+	if q == nil { // want `redundant nil check: q is never nil here`
+		return 0
+	}
+	return q.val
+}
+
+func redundantCheckAfterGuard(p *node) int {
+	if p == nil {
+		return 0
+	}
+	if p != nil { // want `redundant nil check: p is never nil here`
+		return p.val
+	}
+	return 1
+}
+
+func redundantCheckOnZero() int {
+	var m map[string]int
+	if m == nil { // want `redundant nil check: m is always nil here`
+		return 0
+	}
+	return m["k"]
+}
+
+// mergedBranchesStaySilent: isnil meet nonnil is unknown, so neither
+// the dereference nor a later check is reported.
+func mergedBranchesStaySilent(c bool) int {
+	var p *node
+	if c {
+		p = &node{}
+	}
+	if p == nil {
+		return 0
+	}
+	return p.val
+}
+
+// defensiveParamCheckStaysSilent: parameters are unknown.
+func defensiveParamCheckStaysSilent(m map[string]int) int {
+	if m == nil {
+		return 0
+	}
+	return m["k"]
+}
+
+// guardedLoopBodyStaysSilent: the continue guard refines p to non-nil
+// for the rest of the body.
+func guardedLoopBodyStaysSilent(items []*node) int {
+	s := 0
+	for _, p := range items {
+		if p == nil {
+			continue
+		}
+		s += p.val
+	}
+	return s
+}
+
+// closuresAnalyzeSeparately: the literal's own zero pointer is proven,
+// the captured parameter stays unknown.
+func closuresAnalyzeSeparately(outer *node) func() int {
+	return func() int {
+		var p *node
+		if outer == nil {
+			return 0
+		}
+		return p.val // want `proven nil dereference: field selection of nil p`
+	}
+}
+
+// makeAndNewAreNonNil: checks against make/new results are redundant.
+func makeAndNewAreNonNil() int {
+	xs := make([]int, 4)
+	p := new(node)
+	if xs == nil { // want `redundant nil check: xs is never nil here`
+		return 0
+	}
+	if p == nil { // want `redundant nil check: p is never nil here`
+		return 1
+	}
+	return xs[0] + p.val
+}

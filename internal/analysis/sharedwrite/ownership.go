@@ -1,0 +1,1487 @@
+package sharedwrite
+
+// The ownership lattice: three module-level audits that turn the
+// mailbox phase protocol, partition-owned containers, and dupfree
+// worklists into facts the prover can discharge writes with.
+//
+//  1. Mailbox routing (auditMailRoutes): every Put on a mailbox routes
+//     the message to plan.Of(msg.field) for one fixed field. A Drain of
+//     column q then delivers only messages whose field satisfies
+//     Of(field) == q, so when q is worker-distinct the field value is
+//     worker-owned — the fact that discharges dist[m.v]-style writes
+//     inside drain callbacks. The audit conflates all partition plans
+//     routing one mailbox; the module keeps one live plan per exchange
+//     (pinned by the partitioned-parity tests), and a second plan would
+//     surface as nondeterminism long before as a race.
+//
+//  2. Partition-owned containers (auditContainers): a [][]E struct
+//     field F where F[q] only ever holds values owned by partition q —
+//     drained from q's mailbox column, produced by plan.Of == q, or
+//     confined to q's Range window. Proven by an assume-and-refute
+//     fixpoint over every write and alias of the field; survivors let
+//     `for _, u := range F[q]` bless u as worker-distinct (the fact
+//     that discharges the pull-phase inFr[u] writes).
+//
+//  3. Dupfree worklists (injProve): a local slice seeded by an
+//     injective index fill (work[i] = i) and rebuilt each round from a
+//     frontier that every worker pushes at most once per item, with the
+//     item's own (injectively item-derived) value. Such a slice holds
+//     pairwise-distinct values, so work[k] is worker-distinct for
+//     worker-distinct k — the fact that discharges colors[work[k]]
+//     writes in the coloring rounds.
+//
+// All three are proofs about value containment, not about the write
+// sites themselves: classifyWrite still demands a distinct index or an
+// owned window, these audits only widen what counts as proven.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/graphbig/graphbig-go/internal/analysis"
+	"github.com/graphbig/graphbig-go/internal/analysis/ssa"
+)
+
+// identObj resolves an identifier expression to its variable (defs or
+// uses), peeling parentheses only.
+func identObj(info *types.Info, x ast.Expr) *types.Var {
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}
+
+// peelIdentVar peels parentheses, value-preserving conversions, and
+// module identity functions (property.Index32) down to an identifier's
+// variable, or nil.
+func (c *checker) peelIdentVar(info *types.Info, x ast.Expr) *types.Var {
+	for {
+		x = ast.Unparen(x)
+		call, ok := x.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			break
+		}
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			x = call.Args[0]
+			continue
+		}
+		if fn := calleeOf(info, call); fn != nil && c.identFns[fn] {
+			x = call.Args[0]
+			continue
+		}
+		break
+	}
+	return identObj(info, x)
+}
+
+// planOfCall matches <plan>.Of(x) for a partition Plan, returning x.
+func planOfCall(info *types.Info, x ast.Expr) (ast.Expr, bool) {
+	call, ok := ast.Unparen(x).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil, false
+	}
+	fn := calleeOf(info, call)
+	if fn == nil || fn.Name() != "Of" || fn.Signature().Recv() == nil ||
+		fn.Pkg() == nil || !analysis.HasPathSuffix(fn.Pkg().Path(), "internal/partition") {
+		return nil, false
+	}
+	return call.Args[0], true
+}
+
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+func isMakeCall(info *types.Info, x ast.Expr) bool {
+	call, ok := ast.Unparen(x).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return isBuiltin(info, call, "make")
+}
+
+// inspectAll walks a declaration body including nested function
+// literals (unlike analysis.InspectUnit, which stops at them): the
+// audits reason about value containment, and a closure boundary does
+// not interrupt containment.
+func inspectAll(unit ast.Node, visit func(ast.Node) bool) {
+	body := unitBodyOf(unit)
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, visit)
+}
+
+// ---------------------------------------------------------------------
+// Part 1: mailbox routing.
+
+// auditMailRoutes scans every Put in the module. A mailbox earns a
+// routing field when all of its Puts have the shape
+//
+//	mb.Put(src, plan.Of(x), Msg{..., field: x, ...})
+//
+// for the same message field: the destination column is computed from
+// the field's value, so Drain(q) sees only messages with Of(field) == q.
+// Any Put that routes differently (or opaquely) blacklists the mailbox.
+func (c *checker) auditMailRoutes() map[*types.Var]string {
+	route := map[*types.Var]string{}
+	bad := map[*types.Var]bool{}
+	for _, node := range c.cg.Declared() {
+		info := node.Pkg.TypesInfo
+		inspectAll(node.Decl, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			mb, op, ok := analysis.MailboxOp(info, call)
+			if !ok || op != "put" {
+				return true
+			}
+			if len(call.Args) != 3 {
+				bad[mb] = true
+				return true
+			}
+			field := c.routeField(info, call)
+			if field == "" || (route[mb] != "" && route[mb] != field) {
+				bad[mb] = true
+				return true
+			}
+			route[mb] = field
+			return true
+		})
+	}
+	for mb := range bad {
+		delete(route, mb)
+	}
+	return route
+}
+
+// routeField matches Put(src, plan.Of(x), Msg{..., f: x, ...}) and
+// returns "f" — the message field the destination is computed from.
+func (c *checker) routeField(info *types.Info, put *ast.CallExpr) string {
+	arg, ok := planOfCall(info, put.Args[1])
+	if !ok {
+		return ""
+	}
+	rv := c.peelIdentVar(info, arg)
+	if rv == nil {
+		return ""
+	}
+	lit, ok := ast.Unparen(put.Args[2]).(*ast.CompositeLit)
+	if !ok {
+		return ""
+	}
+	var st *types.Struct
+	if tv, ok := info.Types[lit]; ok && tv.Type != nil {
+		st, _ = tv.Type.Underlying().(*types.Struct)
+	}
+	for i, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			if c.peelIdentVar(info, kv.Value) == rv {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					return id.Name
+				}
+			}
+			continue
+		}
+		if c.peelIdentVar(info, el) == rv && st != nil && i < st.NumFields() {
+			return st.Field(i).Name()
+		}
+	}
+	return ""
+}
+
+// ---------------------------------------------------------------------
+// Part 2: partition-owned containers.
+
+// containerField resolves a selector to a struct field of type [][]E
+// with basic element type — the candidate shape for partition-owned
+// frontier/next lists.
+func containerField(info *types.Info, sel ast.Expr) *types.Var {
+	se, ok := ast.Unparen(sel).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	v := analysis.SyncVar(info, se)
+	if v == nil || !v.IsField() {
+		return nil
+	}
+	outer, ok := v.Type().Underlying().(*types.Slice)
+	if !ok {
+		return nil
+	}
+	inner, ok := outer.Elem().Underlying().(*types.Slice)
+	if !ok {
+		return nil
+	}
+	if _, ok := inner.Elem().Underlying().(*types.Basic); !ok {
+		return nil
+	}
+	return v
+}
+
+// auditContainers proves the partition-owned-container invariant by
+// assume-and-refute: start from every element-indexed [][]basic field,
+// audit the whole module under the assumption that all of them hold,
+// drop the ones with an unprovable write or alias, and repeat until the
+// surviving set is self-consistent. The mutual induction matters: fr's
+// clear sites cite a local proven pure from fr itself, and nx and fr
+// justify each other through the cur/next swap.
+func (c *checker) auditContainers(route map[*types.Var]string) map[*types.Var]bool {
+	assume := map[*types.Var]bool{}
+	for _, node := range c.cg.Declared() {
+		info := node.Pkg.TypesInfo
+		inspectAll(node.Decl, func(n ast.Node) bool {
+			if ix, ok := n.(*ast.IndexExpr); ok {
+				if fv := containerField(info, ix.X); fv != nil {
+					assume[fv] = true
+				}
+			}
+			return true
+		})
+	}
+	for round := 0; len(assume) > 0 && round <= len(assume); round++ {
+		failed := c.runContainerAudit(assume, route)
+		if len(failed) == 0 {
+			break
+		}
+		for fv := range failed {
+			delete(assume, fv)
+		}
+	}
+	return assume
+}
+
+func (c *checker) runContainerAudit(assume map[*types.Var]bool, route map[*types.Var]string) map[*types.Var]bool {
+	a := &containerAudit{
+		c:      c,
+		route:  route,
+		assume: assume,
+		failed: map[*types.Var]bool{},
+		seen:   map[ast.Node]bool{},
+	}
+	for _, node := range c.cg.Declared() {
+		if node.Decl.Body == nil {
+			continue
+		}
+		a.info = node.Pkg.TypesInfo
+		a.resetFunc()
+		a.walkList(node.Decl.Body.List)
+		a.sweep(node.Decl)
+	}
+	return a.failed
+}
+
+// pureEnt: a local slice proven to be (an alias of a tail of) F[q] for
+// partition-owned F = src, or a pure derivation of one.
+type pureEnt struct {
+	q   *types.Var
+	src *types.Var
+}
+
+type cwinEnt struct {
+	hi   *types.Var
+	part *types.Var
+}
+
+// containerAudit is one audit pass: per-function source-order facts
+// about which locals are partition indices (ofIdx), Range windows
+// (winLo), pure container aliases (pure), window-confined values
+// (conf), and drained message params (drainCol/drainFld). Legal uses of
+// a candidate selector are marked in seen; the sweep fails any
+// candidate with an unmarked (hence unjudged) use.
+type containerAudit struct {
+	c      *checker
+	info   *types.Info
+	route  map[*types.Var]string
+	assume map[*types.Var]bool
+	failed map[*types.Var]bool
+	seen   map[ast.Node]bool
+	// per-function state:
+	ofIdx    map[*types.Var]*types.Var // v -> p from `p := plan.Of(v)`
+	winLo    map[*types.Var]cwinEnt    // lo -> (hi, q) from `lo, hi := plan.Range(q)`
+	pure     map[*types.Var]pureEnt
+	conf     map[*types.Var]*types.Var // v -> q: v confined to q's window
+	localDef map[*types.Var]bool
+	drainCol map[*types.Var]*types.Var // msg param -> drained column var
+	drainFld map[*types.Var]string     // msg param -> routing field
+}
+
+func (a *containerAudit) resetFunc() {
+	a.ofIdx = map[*types.Var]*types.Var{}
+	a.winLo = map[*types.Var]cwinEnt{}
+	a.pure = map[*types.Var]pureEnt{}
+	a.conf = map[*types.Var]*types.Var{}
+	a.localDef = map[*types.Var]bool{}
+	a.drainCol = map[*types.Var]*types.Var{}
+	a.drainFld = map[*types.Var]string{}
+}
+
+func (a *containerAudit) fail(fv *types.Var) {
+	if fv != nil && a.assume[fv] {
+		a.failed[fv] = true
+	}
+}
+
+// clearVar drops every fact about v, including facts that cite v as
+// their evidence (a window or partition index that was reassigned no
+// longer certifies anything).
+func (a *containerAudit) clearVar(v *types.Var) {
+	if v == nil {
+		return
+	}
+	delete(a.ofIdx, v)
+	delete(a.conf, v)
+	delete(a.pure, v)
+	delete(a.winLo, v)
+	for k, p := range a.ofIdx {
+		if p == v {
+			delete(a.ofIdx, k)
+		}
+	}
+	for k, w := range a.winLo {
+		if w.hi == v || w.part == v {
+			delete(a.winLo, k)
+		}
+	}
+	for k, q := range a.conf {
+		if q == v {
+			delete(a.conf, k)
+		}
+	}
+	for k, p := range a.pure {
+		if p.q == v {
+			delete(a.pure, k)
+		}
+	}
+	for k, q := range a.drainCol {
+		if q == v {
+			delete(a.drainCol, k)
+			delete(a.drainFld, k)
+		}
+	}
+}
+
+// fieldIndex matches <recv>.F[i] for an assumed candidate F, returning
+// the field, the selector node (for consumption marking), and the index
+// variable (nil when the index does not peel to an identifier).
+func (a *containerAudit) fieldIndex(x ast.Expr) (*types.Var, ast.Node, *types.Var, bool) {
+	ix, ok := ast.Unparen(x).(*ast.IndexExpr)
+	if !ok {
+		return nil, nil, nil, false
+	}
+	se, ok := ast.Unparen(ix.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil, nil, false
+	}
+	fv := containerField(a.info, se)
+	if fv == nil || !a.assume[fv] {
+		return nil, nil, nil, false
+	}
+	return fv, se, a.c.peelIdentVar(a.info, ix.Index), true
+}
+
+func (a *containerAudit) wholeField(x ast.Expr) (*types.Var, ast.Node, bool) {
+	se, ok := ast.Unparen(x).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil, false
+	}
+	fv := containerField(a.info, se)
+	if fv == nil || !a.assume[fv] {
+		return nil, nil, false
+	}
+	return fv, se, true
+}
+
+// ownedBy reports whether x provably evaluates to a value owned by
+// partition q: routed there by plan.Of, confined to q's window, or the
+// routing field of a message drained from column q.
+func (a *containerAudit) ownedBy(x ast.Expr, q *types.Var) bool {
+	if v := a.c.peelIdentVar(a.info, x); v != nil {
+		return a.ofIdx[v] == q || a.conf[v] == q
+	}
+	if se, ok := ast.Unparen(x).(*ast.SelectorExpr); ok {
+		if mv := identObj(a.info, se.X); mv != nil {
+			return a.drainCol[mv] == q && a.drainFld[mv] == se.Sel.Name
+		}
+	}
+	return false
+}
+
+// pureOf proves rhs is a pure alias of slot q of some candidate: the
+// slot itself, a reslice of it, a copy of a pure local, or an append to
+// one that only adds q-owned values.
+func (a *containerAudit) pureOf(rhs ast.Expr) (pureEnt, bool) {
+	rhs = ast.Unparen(rhs)
+	switch x := rhs.(type) {
+	case *ast.Ident:
+		if v := identObj(a.info, x); v != nil {
+			p, ok := a.pure[v]
+			return p, ok
+		}
+	case *ast.IndexExpr:
+		if fv, sel, idx, ok := a.fieldIndex(rhs); ok && idx != nil {
+			a.seen[sel] = true
+			return pureEnt{q: idx, src: fv}, true
+		}
+	case *ast.SliceExpr:
+		if x.Slice3 {
+			return pureEnt{}, false
+		}
+		return a.pureOf(x.X)
+	case *ast.CallExpr:
+		if isBuiltin(a.info, x, "append") && len(x.Args) > 0 && x.Ellipsis == token.NoPos {
+			p, ok := a.pureOf(x.Args[0])
+			if !ok {
+				return pureEnt{}, false
+			}
+			for _, arg := range x.Args[1:] {
+				if !a.ownedBy(arg, p.q) {
+					return pureEnt{}, false
+				}
+			}
+			return p, true
+		}
+	}
+	return pureEnt{}, false
+}
+
+// checkElemStore judges F[idx] = rhs: the slot may be emptied (nil, a
+// zero reslice counts via pureOf), replaced by a pure alias of itself,
+// or appended to with idx-owned values. Anything else refutes F.
+func (a *containerAudit) checkElemStore(fv, idx *types.Var, rhs ast.Expr) {
+	if !a.assume[fv] {
+		return
+	}
+	if idx == nil {
+		a.fail(fv)
+		return
+	}
+	rhs = ast.Unparen(rhs)
+	if tv, ok := a.info.Types[rhs]; ok && tv.IsNil() {
+		return
+	}
+	if call, ok := rhs.(*ast.CallExpr); ok && isBuiltin(a.info, call, "append") &&
+		len(call.Args) > 0 && call.Ellipsis == token.NoPos {
+		if p, ok := a.pureOf(call.Args[0]); ok && p.q == idx {
+			good := true
+			for _, arg := range call.Args[1:] {
+				if !a.ownedBy(arg, idx) {
+					good = false
+					break
+				}
+			}
+			if good {
+				return
+			}
+		}
+		a.fail(fv)
+		return
+	}
+	if isMakeCall(a.info, rhs) {
+		return
+	}
+	if p, ok := a.pureOf(rhs); ok && p.q == idx {
+		return
+	}
+	a.fail(fv)
+}
+
+// escapeGuard recognizes `if v < lo || v >= hi { continue }` over a
+// registered Range window, confining v to the window's partition for
+// the rest of the enclosing statement list.
+func (a *containerAudit) escapeGuard(s ast.Stmt) (*types.Var, *types.Var, bool) {
+	ifs, ok := s.(*ast.IfStmt)
+	if !ok || ifs.Init != nil || ifs.Else != nil || !loneEscape(ifs.Body) {
+		return nil, nil, false
+	}
+	or, ok := ast.Unparen(ifs.Cond).(*ast.BinaryExpr)
+	if !ok || or.Op != token.LOR {
+		return nil, nil, false
+	}
+	for _, try := range [2][2]ast.Expr{{or.X, or.Y}, {or.Y, or.X}} {
+		low, ok := ast.Unparen(try[0]).(*ast.BinaryExpr)
+		if !ok || low.Op != token.LSS {
+			continue
+		}
+		high, ok := ast.Unparen(try[1]).(*ast.BinaryExpr)
+		if !ok || high.Op != token.GEQ {
+			continue
+		}
+		v := identObj(a.info, low.X)
+		if v == nil || v != identObj(a.info, high.X) {
+			continue
+		}
+		lo, hi := identObj(a.info, low.Y), identObj(a.info, high.Y)
+		if lo == nil {
+			continue
+		}
+		if w, ok := a.winLo[lo]; ok && w.hi == hi && w.part != nil {
+			return v, w.part, true
+		}
+	}
+	return nil, nil, false
+}
+
+func (a *containerAudit) walkList(list []ast.Stmt) {
+	type guard struct {
+		v, old *types.Var
+		had    bool
+	}
+	var guards []guard
+	for _, s := range list {
+		a.walkStmt(s)
+		if v, q, ok := a.escapeGuard(s); ok {
+			old, had := a.conf[v]
+			guards = append(guards, guard{v: v, old: old, had: had})
+			a.conf[v] = q
+		}
+	}
+	for i := len(guards) - 1; i >= 0; i-- {
+		g := guards[i]
+		if g.had {
+			a.conf[g.v] = g.old
+		} else {
+			delete(a.conf, g.v)
+		}
+	}
+}
+
+func (a *containerAudit) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.AssignStmt:
+		a.handleAssign(s)
+	case *ast.IncDecStmt:
+		if ix, ok := ast.Unparen(s.X).(*ast.IndexExpr); ok {
+			if v := identObj(a.info, ix.X); v != nil {
+				if p, ok := a.pure[v]; ok {
+					a.fail(p.src) // mutates an element of the backing slot
+				}
+			}
+		}
+		a.clearVar(identObj(a.info, s.X))
+		a.scanExpr(s.X)
+	case *ast.ExprStmt:
+		a.scanExpr(s.X)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, val := range vs.Values {
+						a.scanExpr(val)
+					}
+					for _, name := range vs.Names {
+						if v, ok := a.info.Defs[name].(*types.Var); ok {
+							a.clearVar(v)
+							a.localDef[v] = true
+						}
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		a.walkStmt(s.Init)
+		a.scanExpr(s.Cond)
+		if s.Body != nil {
+			a.walkList(s.Body.List)
+		}
+		a.walkStmt(s.Else)
+	case *ast.BlockStmt:
+		a.walkList(s.List)
+	case *ast.ForStmt:
+		a.walkStmt(s.Init)
+		if s.Cond != nil {
+			a.scanExpr(s.Cond)
+		}
+		iv := a.blessWindowLoop(s)
+		if s.Body != nil {
+			a.walkList(s.Body.List)
+		}
+		a.walkStmt(s.Post)
+		if iv != nil {
+			delete(a.conf, iv)
+		}
+	case *ast.RangeStmt:
+		a.handleRange(s)
+	case *ast.GoStmt:
+		a.scanExpr(s.Call)
+	case *ast.DeferStmt:
+		a.scanExpr(s.Call)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			a.scanExpr(r)
+		}
+	case *ast.SendStmt:
+		a.scanExpr(s.Chan)
+		a.scanExpr(s.Value)
+	case *ast.SwitchStmt:
+		a.walkStmt(s.Init)
+		if s.Tag != nil {
+			a.scanExpr(s.Tag)
+		}
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				for _, x := range cl.List {
+					a.scanExpr(x)
+				}
+				a.walkList(cl.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		a.walkStmt(s.Init)
+		a.walkStmt(s.Assign)
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				a.walkList(cl.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CommClause); ok {
+				a.walkStmt(cl.Comm)
+				a.walkList(cl.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		a.walkStmt(s.Stmt)
+	}
+}
+
+// blessWindowLoop confines `for v := lo; v < hi; ...` over a Range
+// window to the window's partition; returns v for post-loop cleanup.
+func (a *containerAudit) blessWindowLoop(s *ast.ForStmt) *types.Var {
+	init, ok := s.Init.(*ast.AssignStmt)
+	if !ok || init.Tok != token.DEFINE || len(init.Lhs) != 1 || len(init.Rhs) != 1 || s.Cond == nil {
+		return nil
+	}
+	cond, ok := ast.Unparen(s.Cond).(*ast.BinaryExpr)
+	if !ok || cond.Op != token.LSS {
+		return nil
+	}
+	v := identObj(a.info, init.Lhs[0])
+	if v == nil || v != identObj(a.info, cond.X) {
+		return nil
+	}
+	lo := identObj(a.info, init.Rhs[0])
+	hi := identObj(a.info, cond.Y)
+	if lo == nil {
+		return nil
+	}
+	if w, ok := a.winLo[lo]; ok && w.hi == hi && w.part != nil {
+		a.conf[v] = w.part
+		return v
+	}
+	return nil
+}
+
+func (a *containerAudit) handleRange(s *ast.RangeStmt) {
+	var elemOwner *types.Var
+	if fv, sel, idx, ok := a.fieldIndex(s.X); ok {
+		_ = fv
+		a.seen[sel] = true
+		elemOwner = idx
+	} else if p, ok := a.pureOf(s.X); ok {
+		elemOwner = p.q
+	} else {
+		a.scanExpr(s.X)
+	}
+	var kv, vv *types.Var
+	if s.Key != nil {
+		kv = identObj(a.info, s.Key)
+		a.clearVar(kv)
+	}
+	if s.Value != nil {
+		vv = identObj(a.info, s.Value)
+		a.clearVar(vv)
+	}
+	if s.Tok == token.DEFINE && vv != nil && elemOwner != nil {
+		a.conf[vv] = elemOwner
+	}
+	if s.Body != nil {
+		a.walkList(s.Body.List)
+	}
+	if vv != nil {
+		delete(a.conf, vv)
+	}
+}
+
+func (a *containerAudit) handleAssign(s *ast.AssignStmt) {
+	info := a.info
+	// p := plan.Of(v): p certifies v's owner from here on.
+	if s.Tok == token.DEFINE && len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+		if arg, ok := planOfCall(info, s.Rhs[0]); ok {
+			sv := a.c.peelIdentVar(info, arg)
+			pv := identObj(info, s.Lhs[0])
+			if sv != nil && pv != nil {
+				a.clearVar(pv)
+				a.localDef[pv] = true
+				a.ofIdx[sv] = pv
+				a.scanExpr(s.Rhs[0])
+				return
+			}
+		}
+	}
+	// lo, hi := plan.Range(q): a window certified to partition q.
+	if len(s.Lhs) == 2 && len(s.Rhs) == 1 {
+		if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+			if fn := calleeOf(info, call); fn != nil && fn.Name() == "Range" &&
+				fn.Signature().Recv() != nil && fn.Pkg() != nil &&
+				analysis.HasPathSuffix(fn.Pkg().Path(), "internal/partition") &&
+				len(call.Args) == 1 {
+				lo := identObj(info, s.Lhs[0])
+				hi := identObj(info, s.Lhs[1])
+				part := a.c.peelIdentVar(info, call.Args[0])
+				a.clearVar(lo)
+				a.clearVar(hi)
+				if lo != nil {
+					a.localDef[lo] = true
+				}
+				if hi != nil {
+					a.localDef[hi] = true
+				}
+				if lo != nil && hi != nil && part != nil {
+					a.winLo[lo] = cwinEnt{hi: hi, part: part}
+				}
+				a.scanExpr(call.Args[0])
+				return
+			}
+		}
+	}
+	type pend struct {
+		v   *types.Var
+		p   pureEnt
+		has bool
+	}
+	var pends []pend
+	if len(s.Lhs) == len(s.Rhs) && (s.Tok == token.ASSIGN || s.Tok == token.DEFINE) {
+		for i, l := range s.Lhs {
+			rhs := s.Rhs[i]
+			if fv, sel, idx, ok := a.fieldIndex(l); ok {
+				a.seen[sel] = true
+				a.checkElemStore(fv, idx, rhs)
+				a.scanExpr(rhs)
+				continue
+			}
+			if fv, sel, ok := a.wholeField(l); ok {
+				a.seen[sel] = true
+				if !isMakeCall(info, rhs) {
+					a.fail(fv)
+				}
+				a.scanExpr(rhs)
+				continue
+			}
+			if ix, ok := ast.Unparen(l).(*ast.IndexExpr); ok {
+				// Element store through a pure alias mutates the backing
+				// slot: only an owned replacement preserves the invariant.
+				if bv := identObj(info, ix.X); bv != nil {
+					if p, ok := a.pure[bv]; ok && !a.ownedBy(rhs, p.q) {
+						a.fail(p.src)
+					}
+				}
+				a.scanExpr(l)
+				a.scanExpr(rhs)
+				continue
+			}
+			if v := identObj(info, l); v != nil {
+				// Identifier target: judge rhs against pre-assignment
+				// facts, land the new pure fact after the whole statement.
+				if s.Tok == token.DEFINE {
+					a.localDef[v] = true
+				}
+				pd := pend{v: v}
+				if a.localDef[v] {
+					if p, ok := a.pureOf(rhs); ok {
+						pd.p, pd.has = p, true
+					}
+				}
+				pends = append(pends, pd)
+				a.scanExpr(rhs)
+				continue
+			}
+			a.scanExpr(l)
+			a.scanExpr(rhs)
+		}
+	} else {
+		// Compound ops, tuple-producing rhs: judge targets, drop facts.
+		for _, l := range s.Lhs {
+			if fv, sel, idx, ok := a.fieldIndex(l); ok {
+				a.seen[sel] = true
+				_ = idx
+				a.fail(fv)
+				continue
+			}
+			if fv, sel, ok := a.wholeField(l); ok {
+				a.seen[sel] = true
+				a.fail(fv)
+				continue
+			}
+			if ix, ok := ast.Unparen(l).(*ast.IndexExpr); ok {
+				if bv := identObj(info, ix.X); bv != nil {
+					if p, ok := a.pure[bv]; ok {
+						a.fail(p.src)
+					}
+				}
+			}
+			if v := identObj(info, l); v != nil {
+				if s.Tok == token.DEFINE {
+					a.localDef[v] = true
+				}
+				pends = append(pends, pend{v: v})
+			}
+			a.scanExpr(l)
+		}
+		for _, r := range s.Rhs {
+			a.scanExpr(r)
+		}
+	}
+	for _, pd := range pends {
+		a.clearVar(pd.v)
+		if pd.has {
+			a.pure[pd.v] = pd.p
+		}
+	}
+}
+
+// scanExpr walks an expression: function literals are audited inline
+// with the surrounding facts (containment is a value property), and
+// Drain callbacks on routed mailboxes seed their message parameter.
+func (a *containerAudit) scanExpr(x ast.Expr) {
+	if x == nil {
+		return
+	}
+	ast.Inspect(x, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			return !a.handleDrain(n)
+		case *ast.FuncLit:
+			a.walkList(n.Body.List)
+			return false
+		}
+		return true
+	})
+}
+
+// handleDrain: mb.Drain(col, func(m T) {...}) on a routed mailbox — the
+// callback's message parameter carries the drained column's ownership
+// on its routing field.
+func (a *containerAudit) handleDrain(call *ast.CallExpr) bool {
+	mb, op, ok := analysis.MailboxOp(a.info, call)
+	if !ok || op != "drain" || len(call.Args) != 2 {
+		return false
+	}
+	lit, ok := ast.Unparen(call.Args[1]).(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	a.scanExpr(call.Args[0])
+	fld, routed := a.route[mb]
+	params := litParams(a.info, lit)
+	var mp *types.Var
+	if routed && len(params) == 1 {
+		if col := a.c.peelIdentVar(a.info, call.Args[0]); col != nil {
+			mp = params[0]
+			a.drainCol[mp] = col
+			a.drainFld[mp] = fld
+		}
+	}
+	a.walkList(lit.Body.List)
+	if mp != nil {
+		delete(a.drainCol, mp)
+		delete(a.drainFld, mp)
+	}
+	return true
+}
+
+// sweep fails every assumed candidate with a selector use no walk rule
+// consumed (an alias escaping the audited shapes) and every composite-
+// literal initialization that is not a bare make.
+func (a *containerAudit) sweep(decl ast.Node) {
+	inspectAll(decl, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if fv := containerField(a.info, n); fv != nil && a.assume[fv] && !a.seen[n] {
+				a.fail(fv)
+			}
+		case *ast.CompositeLit:
+			a.sweepComposite(n)
+		}
+		return true
+	})
+}
+
+func (a *containerAudit) sweepComposite(cl *ast.CompositeLit) {
+	tv, ok := a.info.Types[cl]
+	if !ok || tv.Type == nil {
+		return
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i, el := range cl.Elts {
+		var fv *types.Var
+		var val ast.Expr
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				fv, _ = a.info.Uses[id].(*types.Var)
+			}
+			val = kv.Value
+		} else if i < st.NumFields() {
+			fv, val = st.Field(i), el
+		}
+		if fv == nil || !a.assume[fv] {
+			continue
+		}
+		if !isMakeCall(a.info, val) {
+			a.fail(fv)
+		}
+	}
+}
+
+// elemsProve establishes that every element of slice expression x is
+// owned by one partition variable: the fact handleRangeVars turns into
+// worker-distinctness for the range value variable.
+func (e *env) elemsProve(x ast.Expr) (prov, *types.Var) {
+	x = ast.Unparen(x)
+	switch x := x.(type) {
+	case *ast.Ident:
+		if f := e.fact(e.objOf(x)); f != nil {
+			return f.elems, f.elemsOf
+		}
+	case *ast.IndexExpr:
+		if fv := containerField(e.info(), x.X); fv != nil && e.c.partOwned[fv] {
+			if pv := e.c.peelIdentVar(e.info(), x.Index); pv != nil {
+				return e.prove(x.Index), pv
+			}
+		}
+	case *ast.SliceExpr:
+		if x.Slice3 {
+			return prov{}, nil
+		}
+		return e.elemsProve(x.X) // a subslice holds a subset of the elements
+	case *ast.CallExpr:
+		if isBuiltin(e.info(), x, "append") && len(x.Args) > 0 && x.Ellipsis == token.NoPos {
+			p, pv := e.elemsProve(x.Args[0])
+			if !p.proven() || pv == nil {
+				return prov{}, nil
+			}
+			for _, arg := range x.Args[1:] {
+				f := e.fact(identVar(e, arg))
+				if f == nil || f.ownPart != pv {
+					return prov{}, nil
+				}
+			}
+			return p, pv
+		}
+		if tv, ok := e.info().Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			return e.elemsProve(x.Args[0])
+		}
+	}
+	return prov{}, nil
+}
+
+// ---------------------------------------------------------------------
+// Part 3: dupfree worklists.
+
+const (
+	injUnknown int8 = iota
+	injBusy
+	injYes
+	injNo
+)
+
+// injProve reports whether slice expression x provably holds pairwise-
+// distinct values (the dupfree worklist invariant), so W[j] inherits
+// j's worker-distinctness. Memoized per variable; a variable queried
+// while its own proof is running is answered optimistically — the
+// round-loop phi's inductive hypothesis.
+func (e *env) injProve(x ast.Expr) bool {
+	if e.apkg == nil {
+		return false
+	}
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v := e.objOf(id)
+	if v == nil {
+		return false
+	}
+	if _, ok := v.Type().Underlying().(*types.Slice); !ok {
+		return false
+	}
+	switch e.c.injState[v] {
+	case injYes, injBusy:
+		return true
+	case injNo:
+		return false
+	}
+	e.c.injState[v] = injBusy
+	ok = e.injVar(v, id)
+	if ok {
+		e.c.injState[v] = injYes
+	} else {
+		e.c.injState[v] = injNo
+	}
+	return ok
+}
+
+func (e *env) injVar(v *types.Var, use *ast.Ident) bool {
+	f0 := ssa.Of(e.c.m).FuncOf(e.apkg, e.root)
+	if f0 == nil || f0.Unversioned[v] {
+		return false
+	}
+	d, ok := f0.UseDef[use]
+	if !ok || d.Var != v {
+		return false
+	}
+	in := &injCtx{e: e, f0: f0, v: v, usePos: use.Pos(), memo: map[*ssa.Def]bool{}}
+	in.findFills()
+	if !in.scanElemWrites() || !in.scanAliases() {
+		return false
+	}
+	return in.injDef(d)
+}
+
+type injCtx struct {
+	e      *env
+	f0     *ssa.Func
+	v      *types.Var
+	usePos token.Pos
+	fills  []*ast.RangeStmt
+	memo   map[*ssa.Def]bool
+}
+
+// findFills collects the injective fill loops over v at the top level
+// of the enclosing function body: `for i := range W { W[i] = f(i) }`
+// with f peeling to the key — total, injective initialization.
+func (in *injCtx) findFills() {
+	body := unitBodyOf(in.e.root)
+	if body == nil {
+		return
+	}
+	for _, s := range body.List {
+		if rs, ok := s.(*ast.RangeStmt); ok && in.fillOK(rs) {
+			in.fills = append(in.fills, rs)
+		}
+	}
+}
+
+func (in *injCtx) fillOK(rs *ast.RangeStmt) bool {
+	if rs.Tok != token.DEFINE || rs.Key == nil || rs.Value != nil ||
+		rs.Body == nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	if identObj(in.e.info(), rs.X) != in.v {
+		return false
+	}
+	key := identObj(in.e.info(), rs.Key)
+	if key == nil {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	ix, ok := ast.Unparen(as.Lhs[0]).(*ast.IndexExpr)
+	if !ok || identObj(in.e.info(), ix.X) != in.v {
+		return false
+	}
+	if identObj(in.e.info(), ix.Index) != key {
+		return false
+	}
+	return in.e.c.peelIdentVar(in.e.info(), as.Rhs[0]) == key
+}
+
+// scanElemWrites: every element write to v must be the body of a
+// recognized fill loop — anything else could introduce a duplicate.
+func (in *injCtx) scanElemWrites() bool {
+	fillStmt := map[ast.Stmt]bool{}
+	for _, rs := range in.fills {
+		fillStmt[rs.Body.List[0]] = true
+	}
+	ok := true
+	inspectAll(in.e.root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				if in.isElemWrite(l) && !fillStmt[n] {
+					ok = false
+				}
+			}
+		case *ast.IncDecStmt:
+			if in.isElemWrite(n.X) {
+				ok = false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+func (in *injCtx) isElemWrite(l ast.Expr) bool {
+	ix, ok := ast.Unparen(l).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	root := ix.X
+	for {
+		inner, ok := ast.Unparen(root).(*ast.IndexExpr)
+		if !ok {
+			break
+		}
+		root = inner.X
+	}
+	return identObj(in.e.info(), root) == in.v
+}
+
+// scanAliases: every mention of v must sit in a position that cannot
+// leak the slice or its elements to a writer we do not see — index and
+// slice bases, len/cap arguments, range operands, and bare assignment
+// targets. Anything else (a call argument, a composite element, a
+// variadic spread) defeats the proof.
+func (in *injCtx) scanAliases() bool {
+	info := in.e.info()
+	allowed := map[*ast.Ident]bool{}
+	mark := func(x ast.Expr) {
+		if id, ok := ast.Unparen(x).(*ast.Ident); ok {
+			allowed[id] = true
+		}
+	}
+	inspectAll(in.e.root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IndexExpr:
+			mark(n.X)
+		case *ast.SliceExpr:
+			mark(n.X)
+		case *ast.RangeStmt:
+			mark(n.X)
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				mark(l)
+			}
+		case *ast.CallExpr:
+			if isBuiltin(info, n, "len") || isBuiltin(info, n, "cap") {
+				for _, a := range n.Args {
+					mark(a)
+				}
+			}
+		}
+		return true
+	})
+	ok := true
+	inspectAll(in.e.root, func(n ast.Node) bool {
+		if id, isID := n.(*ast.Ident); isID {
+			if in.e.objOf(id) == in.v && !allowed[id] {
+				ok = false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// injDef: the reaching definition holds pairwise-distinct values. Phis
+// are answered optimistically while in progress (loop induction), make
+// requires a dominating fill, and the rebuild shape
+// `append(W[:0], F.Slice()...)` requires a dupfree frontier.
+func (in *injCtx) injDef(d *ssa.Def) bool {
+	if res, ok := in.memo[d]; ok {
+		return res
+	}
+	in.memo[d] = true
+	res := in.injDefEval(d)
+	in.memo[d] = res
+	return res
+}
+
+func (in *injCtx) injDefEval(d *ssa.Def) bool {
+	switch d.Kind {
+	case ssa.DefPhi:
+		any := false
+		for _, arg := range d.Args {
+			if arg == nil {
+				continue // unreachable predecessor
+			}
+			if !in.injDef(arg) {
+				return false
+			}
+			any = true
+		}
+		return any
+	case ssa.DefAssign:
+		return in.injRhs(d, d.Rhs)
+	}
+	return false
+}
+
+func (in *injCtx) injRhs(d *ssa.Def, rhs ast.Expr) bool {
+	rhs = ast.Unparen(rhs)
+	info := in.e.info()
+	switch x := rhs.(type) {
+	case *ast.Ident:
+		if nd, ok := in.f0.UseDef[x]; ok && nd.Var == in.v {
+			return in.injDef(nd)
+		}
+	case *ast.CallExpr:
+		if tv, ok := info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			return in.injRhs(d, x.Args[0])
+		}
+		if isBuiltin(info, x, "make") {
+			return in.fillFor(d)
+		}
+		if isBuiltin(info, x, "append") && len(x.Args) == 2 && x.Ellipsis != token.NoPos {
+			if !in.zeroLenBase(x.Args[0]) {
+				return false
+			}
+			return in.dupFrontier(x.Args[1])
+		}
+	}
+	return false
+}
+
+// fillFor: some recognized fill ranges over exactly this make
+// definition and completes before the blessed use. The module has no
+// gotos, so top-level source order implies dominance.
+func (in *injCtx) fillFor(d *ssa.Def) bool {
+	for _, rs := range in.fills {
+		xid, ok := ast.Unparen(rs.X).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if in.f0.UseDef[xid] == d && rs.End() < in.usePos {
+			return true
+		}
+	}
+	return false
+}
+
+// zeroLenBase matches W[:0] (or W[0:0]): a rebuild that discards every
+// prior element before the frontier's are copied in.
+func (in *injCtx) zeroLenBase(x ast.Expr) bool {
+	se, ok := ast.Unparen(x).(*ast.SliceExpr)
+	if !ok || se.Slice3 || se.High == nil {
+		return false
+	}
+	if se.Low != nil && !in.zeroConst(se.Low) {
+		return false
+	}
+	return in.zeroConst(se.High)
+}
+
+func (in *injCtx) zeroConst(x ast.Expr) bool {
+	tv, ok := in.e.info().Types[x]
+	return ok && tv.Value != nil && tv.Value.String() == "0"
+}
+
+// dupFrontier: arg is F.Slice() for a frontier F that was freshly
+// allocated, is used only through Push/Slice/Len, and has exactly one
+// Push site — unlooped, at the top of a single-item parallel context,
+// pushing a value derived injectively from the item index. Every
+// worker then contributes at most one value, all pairwise distinct, so
+// the drained slice is dupfree.
+func (in *injCtx) dupFrontier(arg ast.Expr) bool {
+	info := in.e.info()
+	call, ok := ast.Unparen(arg).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Slice" {
+		return false
+	}
+	fid, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	fv := in.e.objOf(fid)
+	if fv == nil || in.f0.Unversioned[fv] {
+		return false
+	}
+	fd, ok := in.f0.UseDef[fid]
+	if !ok || fd.Kind != ssa.DefAssign || !isNewFrontier(info, fd.Rhs) {
+		return false
+	}
+	push, ok := in.frontierUses(fv, fd)
+	if !ok {
+		return false
+	}
+	return in.pushOK(push)
+}
+
+func isNewFrontier(info *types.Info, rhs ast.Expr) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeOf(info, call)
+	return fn != nil && fn.Name() == "NewFrontier" && fn.Pkg() != nil &&
+		analysis.HasPathSuffix(fn.Pkg().Path(), "internal/concurrent")
+}
+
+// frontierUses checks every mention of the frontier variable: its one
+// definition, receivers of Push/Slice/Len — and exactly one Push site
+// overall (two sites could push one value twice).
+func (in *injCtx) frontierUses(fv *types.Var, fd *ssa.Def) (*ast.CallExpr, bool) {
+	info := in.e.info()
+	allowed := map[*ast.Ident]bool{}
+	var pushes []*ast.CallExpr
+	inspectAll(in.e.root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || in.e.objOf(id) != fv {
+			return true
+		}
+		if in.f0.UseDef[id] != fd {
+			return true // another frontier generation through the same name
+		}
+		switch sel.Sel.Name {
+		case "Push":
+			if len(call.Args) == 1 {
+				allowed[id] = true
+				pushes = append(pushes, call)
+			}
+		case "Slice", "Len":
+			if len(call.Args) == 0 {
+				allowed[id] = true
+			}
+		}
+		return true
+	})
+	ok := true
+	inspectAll(in.e.root, func(n ast.Node) bool {
+		id, isID := n.(*ast.Ident)
+		if !isID || in.e.objOf(id) != fv || allowed[id] {
+			return true
+		}
+		if v, def := info.Defs[id].(*types.Var); def && v == fv {
+			return true // the := definition itself
+		}
+		ok = false
+		return true
+	})
+	if !ok || len(pushes) != 1 {
+		return nil, false
+	}
+	return pushes[0], true
+}
+
+// pushOK: the lone Push sits directly in the body of a single-item
+// parallel context literal (not nested in a loop or an inner literal,
+// so it runs at most once per item) and pushes an injectively
+// item-derived value.
+func (in *injCtx) pushOK(push *ast.CallExpr) bool {
+	info := in.e.info()
+	var lit *ast.FuncLit
+	var item *types.Var
+	inspectAll(in.e.root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		l := in.e.c.contextLit(info, in.e.root, call)
+		if l == nil || push.Pos() < l.Body.Pos() || push.End() > l.Body.End() {
+			return true
+		}
+		if ps := litParams(info, l); len(ps) == 1 {
+			lit, item = l, ps[0] // innermost containing context wins
+		}
+		return true
+	})
+	if lit == nil || item == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt:
+			return false
+		}
+		if n == push {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		return false
+	}
+	return in.pushedDistinct(lit, item, push.Args[0])
+}
+
+// pushedDistinct: the pushed expression is an injective function of the
+// item parameter — the parameter itself, a copy, a conversion/identity
+// image, or an element of a dupfree worklist (the self-reference the
+// round induction closes over) indexed by such a value.
+func (in *injCtx) pushedDistinct(lit *ast.FuncLit, item *types.Var, arg ast.Expr) bool {
+	lf := ssa.Of(in.e.c.m).FuncOf(in.e.apkg, lit)
+	if lf == nil {
+		return false
+	}
+	info := in.e.info()
+	var rec func(x ast.Expr, depth int) bool
+	rec = func(x ast.Expr, depth int) bool {
+		if depth > 20 {
+			return false
+		}
+		x = ast.Unparen(x)
+		switch x := x.(type) {
+		case *ast.Ident:
+			if in.e.objOf(x) == item {
+				return true
+			}
+			d, ok := lf.UseDef[x]
+			if !ok {
+				return false
+			}
+			switch d.Kind {
+			case ssa.DefParam:
+				return d.Var == item
+			case ssa.DefAssign:
+				return rec(d.Rhs, depth+1)
+			}
+		case *ast.IndexExpr:
+			bid, ok := ast.Unparen(x.X).(*ast.Ident)
+			if !ok {
+				return false
+			}
+			bv := in.e.objOf(bid)
+			if bv == nil {
+				return false
+			}
+			if bv != in.v && in.e.c.injState[bv] != injYes {
+				return false
+			}
+			return rec(x.Index, depth+1)
+		case *ast.CallExpr:
+			if len(x.Args) == 1 {
+				if tv, ok := info.Types[x.Fun]; ok && tv.IsType() {
+					return rec(x.Args[0], depth+1)
+				}
+				if fn := calleeOf(info, x); fn != nil && in.e.c.identFns[fn] {
+					return rec(x.Args[0], depth+1)
+				}
+			}
+		}
+		return false
+	}
+	return rec(arg, 0)
+}

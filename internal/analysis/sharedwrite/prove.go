@@ -42,6 +42,19 @@ type vfact struct {
 	// at off, so (off + this) is worker-distinct with proof offP.
 	off  *types.Var
 	offP prov
+	// fields: per-field distinctness for a struct-valued variable — a
+	// drained mailbox message whose routing field carries the drained
+	// column's proof.
+	fields map[string]prov
+	// elems/elemsOf: every element of this slice-valued variable is
+	// owned by the partition variable elemsOf, with proof elems — set
+	// when the slice is (derived from) a partition-owned container slot.
+	elems   prov
+	elemsOf *types.Var
+	// ownPart: the value is owned by this partition variable (routed by
+	// plan.Of, drained from its column, or confined to its window) —
+	// the license to append it to a partition-owned container slot.
+	ownPart *types.Var
 }
 
 // window is a proven half-open index window [lo, hi): distinct workers
@@ -54,6 +67,10 @@ type window struct {
 	lo, hi   *types.Var
 	p        prov
 	confined bool
+	// part: the partition variable this window belongs to, when the
+	// window came from plan.Range(part) — values confined to the window
+	// are part-owned.
+	part *types.Var
 }
 
 // wininfo is windowProv's result: the proof, the low-bound variable
@@ -63,6 +80,7 @@ type wininfo struct {
 	p        prov
 	lo       *types.Var
 	confined bool
+	part     *types.Var // owning partition variable, when known
 }
 
 // env is the walking state of one evaluation context (a parallel worker
@@ -89,6 +107,9 @@ type env struct {
 	// points-to ownership fallback checks allocations and holders
 	// against (NoPos for summary environments).
 	ctxStart, ctxEnd token.Pos
+	// apkg: the analysis package the context lives in, for SSA lookups
+	// (nil in summary environments — injProve needs a concrete context).
+	apkg *analysis.Package
 }
 
 func (e *env) info() *types.Info { return e.pkg.info }
@@ -147,6 +168,22 @@ func (e *env) prove(x ast.Expr) prov {
 	case *ast.Ident:
 		if f := e.fact(e.objOf(x)); f != nil {
 			return f.distinct
+		}
+	case *ast.SelectorExpr:
+		// m.f for a drained mailbox message whose routing field f
+		// carries the drained column's distinctness.
+		if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			if f := e.fact(e.objOf(id)); f != nil && f.fields != nil {
+				if p, ok := f.fields[x.Sel.Name]; ok {
+					return p
+				}
+			}
+		}
+	case *ast.IndexExpr:
+		// W[j] for a proven-dupfree worklist W: distinct j gives
+		// distinct elements.
+		if p := e.prove(x.Index); p.proven() && e.injProve(x.X) {
+			return p
 		}
 	case *ast.CallExpr:
 		if len(x.Args) == 1 {
@@ -268,7 +305,7 @@ func (e *env) windowProv(loE, hiE ast.Expr) (wininfo, bool) {
 	if lv, hv := identVar(e, loE), identVar(e, hiE); lv != nil && hv != nil {
 		for _, w := range e.windows {
 			if w.lo == lv && w.hi == hv {
-				return wininfo{p: w.p, lo: lv, confined: w.confined}, true
+				return wininfo{p: w.p, lo: lv, confined: w.confined, part: w.part}, true
 			}
 		}
 	}
@@ -382,6 +419,10 @@ func (e *env) vfactOf(rhs ast.Expr) vfact {
 	var f vfact
 	f.distinct = e.prove(rhs)
 	f.owned, f.ownedLo = e.ownedProve(rhs)
+	f.elems, f.elemsOf = e.elemsProve(rhs)
+	if src := e.fact(identVar(e, rhs)); src != nil {
+		f.ownPart = src.ownPart // a copy keeps its owner
+	}
 	return f
 }
 

@@ -106,6 +106,12 @@ type checker struct {
 	litSums  map[*ast.FuncLit]*summary
 	inProg   map[any]bool
 	reported map[token.Pos]bool
+	// The ownership lattice (ownership.go): mailboxes whose every Put
+	// routes by one message field, container fields proven partition-
+	// owned, and the memoized dupfree-worklist verdicts.
+	mailRoute map[*types.Var]string
+	partOwned map[*types.Var]bool
+	injState  map[*types.Var]int8
 }
 
 func run(mp *analysis.ModulePass) error {
@@ -120,11 +126,16 @@ func run(mp *analysis.ModulePass) error {
 		litSums:  map[*ast.FuncLit]*summary{},
 		inProg:   map[any]bool{},
 		reported: map[token.Pos]bool{},
+		injState: map[*types.Var]int8{},
 	}
 	for _, node := range c.cg.Declared() {
 		c.detectIdentity(node)
 		c.detectWrapper(node)
 	}
+	// Module-level ownership audits, after identity/wrapper detection
+	// (the container audit resolves peeled identities and drain shapes).
+	c.mailRoute = c.auditMailRoutes()
+	c.partOwned = c.auditContainers(c.mailRoute)
 	for _, node := range c.cg.Declared() {
 		if node.Pkg == nil || !analysis.HasPathSuffix(node.Pkg.PkgPath, scope...) {
 			continue
@@ -242,6 +253,7 @@ func (c *checker) newEnv(pkg *analysis.Package, root ast.Node) *env {
 		locals: map[*types.Var]bool{},
 		facts:  map[*types.Var]*vfact{},
 		held:   map[*types.Var]bool{},
+		apkg:   pkg,
 	}
 }
 

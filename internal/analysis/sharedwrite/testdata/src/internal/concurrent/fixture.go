@@ -28,3 +28,53 @@ func ParallelItems(n, workers, grain int, body func(i int)) {
 		}
 	})
 }
+
+// Frontier is a concurrent push-only vertex set (fixture surface for
+// the dupfree-worklist proof).
+type Frontier struct {
+	mu  sync.Mutex
+	buf []int32
+}
+
+func NewFrontier(capacity int) *Frontier {
+	return &Frontier{buf: make([]int32, 0, capacity)}
+}
+
+func (f *Frontier) Push(v int32) {
+	f.mu.Lock()
+	f.buf = append(f.buf, v)
+	f.mu.Unlock()
+}
+
+func (f *Frontier) Slice() []int32 { return f.buf }
+
+func (f *Frontier) Len() int { return len(f.buf) }
+
+// Mailboxes is a k×k phase-separated exchange (fixture surface for the
+// mailbox routing proof): Put in the scatter phase, Drain in the apply
+// phase.
+type Mailboxes[T any] struct {
+	k   int
+	box [][]T
+}
+
+func NewMailboxes[T any](k int) *Mailboxes[T] {
+	return &Mailboxes[T]{k: k, box: make([][]T, k*k)}
+}
+
+func (m *Mailboxes[T]) Put(src, dst int32, msg T) {
+	m.box[int(src)*m.k+int(dst)] = append(m.box[int(src)*m.k+int(dst)], msg)
+}
+
+func (m *Mailboxes[T]) Drain(dst int32, fn func(msg T)) int {
+	n := 0
+	for s := 0; s < m.k; s++ {
+		cell := m.box[s*m.k+int(dst)]
+		for _, msg := range cell {
+			fn(msg)
+			n++
+		}
+		m.box[s*m.k+int(dst)] = cell[:0]
+	}
+	return n
+}

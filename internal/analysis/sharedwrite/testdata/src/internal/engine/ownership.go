@@ -1,0 +1,133 @@
+// Ownership-lattice cases: mailbox routing, partition-owned
+// containers, and dupfree worklists.
+package engine
+
+import (
+	"internal/concurrent"
+	"internal/partition"
+)
+
+// xmsg is a boundary message; v is the routing field.
+type xmsg struct {
+	v int32
+	d float64
+}
+
+type exch struct {
+	mail *concurrent.Mailboxes[xmsg] // every Put routes by plan.Of(msg.v)
+	bad  *concurrent.Mailboxes[xmsg] // one Put routes by something else
+	fr   [][]int32                   // partition-owned: slot q holds only q's vertices
+	nx   [][]int32                   // poisoned below: loses the audit
+	dist []float64
+	mark []int64
+	win  []bool
+	plan *partition.Plan
+}
+
+// emit routes by the message's own v field: mail earns "v".
+func (x *exch) emit(p, v int32) {
+	x.mail.Put(p, x.plan.Of(v), xmsg{v: v, d: 1})
+}
+
+// emitBad routes by the source partition, not a message field: bad is
+// blacklisted and its drains confer nothing.
+func (x *exch) emitBad(p, v int32) {
+	x.bad.Put(p, x.plan.Of(p), xmsg{v: v, d: 1})
+}
+
+// drainApply: the drained column is worker-distinct, so m.v — routed
+// here by plan.Of(m.v) — is too. Both writes are silent.
+func (x *exch) drainApply(workers int) {
+	concurrent.ParallelItems(workers, workers, 1, func(p int) {
+		q := int32(p)
+		x.mail.Drain(q, func(m xmsg) {
+			x.dist[m.v] = m.d
+			x.fr[q] = append(x.fr[q], m.v)
+		})
+	})
+}
+
+// drainBad: an unrouted mailbox's messages prove nothing.
+func (x *exch) drainBad(workers int) {
+	concurrent.ParallelItems(workers, workers, 1, func(p int) {
+		q := int32(p)
+		x.bad.Drain(q, func(m xmsg) {
+			x.dist[m.v] = m.d // want "write to shared .* is not proven disjoint across workers"
+		})
+	})
+}
+
+// sweepOwned: fr survives the container audit (its only stores are the
+// q-owned drain appends above), so ranging slot q yields worker-owned
+// vertices and the mark write is silent.
+func (x *exch) sweepOwned(workers int) {
+	concurrent.ParallelItems(workers, workers, 1, func(p int) {
+		q := int32(p)
+		for _, u := range x.fr[q] {
+			x.mark[u] = 1
+		}
+	})
+}
+
+// poison appends a value nothing ties to partition q: nx fails the
+// audit. The write itself is index-proven (q is distinct), so the
+// report lands where the unsound fact would have been used, below.
+func (x *exch) poison(stray int32, workers int) {
+	concurrent.ParallelItems(workers, workers, 1, func(p int) {
+		q := int32(p)
+		x.nx[q] = append(x.nx[q], stray)
+	})
+}
+
+// sweepLeaky: nx lost the audit, so its elements prove nothing.
+func (x *exch) sweepLeaky(workers int) {
+	concurrent.ParallelItems(workers, workers, 1, func(p int) {
+		q := int32(p)
+		for _, u := range x.nx[q] {
+			x.mark[u] = 2 // want "write to shared .* is not proven disjoint across workers"
+		}
+	})
+}
+
+// colorRounds is the dupfree-worklist idiom: injective index fill, one
+// unlooped Push per item of an item-derived value, rebuild from the
+// frontier each round. work[k] stays pairwise-distinct, so the colors
+// write is silent.
+func (x *exch) colorRounds(n, workers int, colors []int64) {
+	work := make([]int32, n)
+	for i := range work {
+		work[i] = int32(i)
+	}
+	for len(work) > 0 {
+		next := concurrent.NewFrontier(len(work))
+		concurrent.ParallelItems(len(work), workers, 32, func(k int) {
+			vi := work[k]
+			if x.win[vi] {
+				next.Push(vi)
+				return
+			}
+			colors[vi] = 1
+		})
+		work = append(work[:0], next.Slice()...)
+	}
+}
+
+// pushTwice pushes inside a loop: one item may contribute two values,
+// the rebuilt worklist can hold duplicates, and the proof collapses.
+func (x *exch) pushTwice(n, workers int, colors []int64) {
+	work := make([]int32, n)
+	for i := range work {
+		work[i] = int32(i)
+	}
+	for len(work) > 0 {
+		next := concurrent.NewFrontier(2 * len(work))
+		concurrent.ParallelItems(len(work), workers, 32, func(k int) {
+			vi := work[k]
+			for r := int32(0); r < 2; r++ {
+				next.Push(vi + r)
+			}
+			colors[vi] = 2 // want "write to shared .* is not proven disjoint across workers"
+		})
+		work = append(work[:0], next.Slice()...)
+	}
+}

@@ -5,9 +5,15 @@ package partition
 // Plan is a k-way vertex partition with monotone bounds.
 type Plan struct {
 	Bounds []int32
+	Owner  []int32
 }
 
 // Range returns partition q's half-open vertex window.
 func (p *Plan) Range(q int) (int32, int32) {
 	return p.Bounds[q], p.Bounds[q+1]
+}
+
+// Of returns the partition owning vertex v.
+func (p *Plan) Of(v int32) int32 {
+	return p.Owner[v]
 }

@@ -70,9 +70,10 @@ func (e *env) walkStmtList(list []ast.Stmt) {
 			e.walkStmt(s)
 		}
 		if x, wi, ok := e.escapeGuard(s); ok {
-			nf := vfact{distinct: wi.p, confined: wi.confined}
+			nf := vfact{distinct: wi.p, confined: wi.confined, ownPart: wi.part}
 			if old := e.fact(x); old != nil {
 				nf.owned, nf.ownedLo, nf.off, nf.offP = old.owned, old.ownedLo, old.off, old.offP
+				nf.fields, nf.elems, nf.elemsOf = old.fields, old.elems, old.elemsOf
 			}
 			e.facts[x] = &nf
 		}
@@ -131,9 +132,10 @@ func (e *env) walkStmt(s ast.Stmt) {
 		e.handleExpr(s.Cond)
 		if x, wi, ok := e.containGuard(s); ok {
 			saved, had := e.facts[x]
-			nf := vfact{distinct: wi.p, confined: wi.confined}
+			nf := vfact{distinct: wi.p, confined: wi.confined, ownPart: wi.part}
 			if saved != nil {
 				nf.owned, nf.ownedLo, nf.off, nf.offP = saved.owned, saved.ownedLo, saved.off, saved.offP
+				nf.fields, nf.elems, nf.elemsOf = saved.fields, saved.elems, saved.elemsOf
 			}
 			e.facts[x] = &nf
 			e.walkStmtList(s.Body.List)
@@ -148,6 +150,7 @@ func (e *env) walkStmt(s ast.Stmt) {
 			if saved != nil {
 				nf.confined = saved.confined
 				nf.owned, nf.ownedLo, nf.off, nf.offP = saved.owned, saved.ownedLo, saved.off, saved.offP
+				nf.fields, nf.elems, nf.elemsOf, nf.ownPart = saved.fields, saved.elems, saved.elemsOf, saved.ownPart
 			}
 			e.facts[x] = &nf
 			e.walkStmtList(s.Body.List)
@@ -244,7 +247,7 @@ func (e *env) blessLoopWindow(s *ast.ForStmt) {
 		return
 	}
 	if wi, ok := e.windowProv(a.Rhs[0], cond.Y); ok {
-		e.setFact(v, vfact{distinct: wi.p, confined: wi.confined})
+		e.setFact(v, vfact{distinct: wi.p, confined: wi.confined, ownPart: wi.part})
 	}
 }
 
@@ -331,7 +334,14 @@ func (e *env) handleRangeVars(s *ast.RangeStmt) {
 	}
 	if s.Value != nil {
 		if vv := identVar(e, s.Value); vv != nil {
-			e.setFact(vv, vfact{})
+			f := vfact{}
+			// Ranging a partition-owned container slot: every element is
+			// owned by the slot's partition, so the value variable is as
+			// distinct as the slot index.
+			if ep, eo := e.elemsProve(s.X); ep.proven() && eo != nil {
+				f.distinct, f.ownPart = ep, eo
+			}
+			e.setFact(vv, f)
 		}
 	}
 }
@@ -353,7 +363,8 @@ func (e *env) handleAssign(a *ast.AssignStmt) {
 					e.setFact(lo, vfact{})
 					e.setFact(hi, vfact{})
 					if p.proven() {
-						e.windows = append(e.windows, window{lo: lo, hi: hi, p: p})
+						part := e.c.peelIdentVar(e.info(), call.Args[0])
+						e.windows = append(e.windows, window{lo: lo, hi: hi, p: p, part: part})
 					}
 					return
 				}
@@ -527,6 +538,30 @@ func (e *env) handleCall(call *ast.CallExpr) {
 				}
 			}
 			return
+		}
+	}
+	// A Drain callback on a routed mailbox runs inline here, and its
+	// message parameter's routing field inherits the drained column's
+	// distinctness: every Put on the mailbox sends to plan.Of(field), so
+	// column q only ever delivers messages with Of(field) == q.
+	if mb, op, ok := analysis.MailboxOp(info, call); ok && op == "drain" && len(call.Args) == 2 {
+		if fld, routed := e.c.mailRoute[mb]; routed {
+			if lit, ok := ast.Unparen(call.Args[1]).(*ast.FuncLit); ok {
+				e.handleExpr(call.Args[0])
+				col := e.prove(call.Args[0])
+				params := litParams(info, lit)
+				for _, p := range params {
+					e.locals[p] = true
+				}
+				if col.proven() && len(params) == 1 {
+					e.setFact(params[0], vfact{fields: map[string]prov{fld: col}})
+				}
+				e.walkStmtList(lit.Body.List)
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					e.handleExpr(sel.X)
+				}
+				return
+			}
 		}
 	}
 	// Arguments evaluate on this goroutine; a literal argument (a

@@ -1,0 +1,239 @@
+package ssa
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/graphbig/graphbig-go/internal/analysis"
+)
+
+// makeCFG hand-builds a CFG with n blocks (0 = entry, n-1 = exit) and
+// the given directed edges.
+func makeCFG(n int, edges [][2]int) *analysis.CFG {
+	blocks := make([]*analysis.Block, n)
+	for i := range blocks {
+		blocks[i] = &analysis.Block{Index: i, Kind: fmt.Sprintf("b%d", i)}
+	}
+	for _, e := range edges {
+		from, to := blocks[e[0]], blocks[e[1]]
+		dup := false
+		for _, s := range from.Succs {
+			if s == to {
+				dup = true
+			}
+		}
+		if dup {
+			continue
+		}
+		from.Succs = append(from.Succs, to)
+		to.Preds = append(to.Preds, from)
+	}
+	return &analysis.CFG{Entry: blocks[0], Exit: blocks[n-1], Blocks: blocks}
+}
+
+// reachableAvoiding computes reachability from entry with block `avoid`
+// removed (avoid < 0 removes nothing) — the oracle primitive: a
+// dominates b iff removing a disconnects b from entry.
+func reachableAvoiding(c *analysis.CFG, avoid int) []bool {
+	seen := make([]bool, len(c.Blocks))
+	if c.Entry.Index == avoid {
+		return seen
+	}
+	stack := []*analysis.Block{c.Entry}
+	seen[c.Entry.Index] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if s.Index != avoid && !seen[s.Index] {
+				seen[s.Index] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// oracleDominates builds the full dominance relation by the naive
+// all-paths definition.
+func oracleDominates(c *analysis.CFG) [][]bool {
+	n := len(c.Blocks)
+	reach := reachableAvoiding(c, -1)
+	dom := make([][]bool, n)
+	for a := 0; a < n; a++ {
+		dom[a] = make([]bool, n)
+		if !reach[a] {
+			continue
+		}
+		cut := reachableAvoiding(c, a)
+		for b := 0; b < n; b++ {
+			dom[a][b] = reach[b] && (a == b || !cut[b])
+		}
+	}
+	return dom
+}
+
+func checkAgainstOracle(t *testing.T, c *analysis.CFG) {
+	t.Helper()
+	d := BuildDom(c)
+	dom := oracleDominates(c)
+	reach := reachableAvoiding(c, -1)
+	n := len(c.Blocks)
+
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			got := d.Dominates(c.Blocks[a], c.Blocks[b])
+			if got != dom[a][b] {
+				t.Fatalf("Dominates(b%d, b%d) = %v, oracle %v", a, b, got, dom[a][b])
+			}
+		}
+	}
+
+	// Idom: the unique strict dominator dominated by every other one.
+	for b := 0; b < n; b++ {
+		var want *analysis.Block
+		if reach[b] && b != c.Entry.Index {
+			for a := 0; a < n; a++ {
+				if a == b || !dom[a][b] {
+					continue
+				}
+				closest := true
+				for x := 0; x < n; x++ {
+					if x != a && x != b && dom[x][b] && !dom[x][a] {
+						closest = false
+						break
+					}
+				}
+				if closest {
+					want = c.Blocks[a]
+					break
+				}
+			}
+		}
+		if got := d.Idom(c.Blocks[b]); got != want {
+			t.Fatalf("Idom(b%d) = %v, oracle %v", b, got, want)
+		}
+	}
+
+	// Frontier: DF(a) = {b : a dominates a pred of b, a does not
+	// strictly dominate b}.
+	for a := 0; a < n; a++ {
+		want := map[int]bool{}
+		if reach[a] {
+			for b := 0; b < n; b++ {
+				if !reach[b] {
+					continue
+				}
+				strict := dom[a][b] && a != b
+				if strict {
+					continue
+				}
+				for _, p := range c.Blocks[b].Preds {
+					if dom[a][p.Index] {
+						want[b] = true
+						break
+					}
+				}
+			}
+		}
+		got := map[int]bool{}
+		for _, fb := range d.Frontier(c.Blocks[a]) {
+			got[fb.Index] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("Frontier(b%d) = %v, oracle %v", a, got, want)
+		}
+		for b := range want {
+			if !got[b] {
+				t.Fatalf("Frontier(b%d) missing b%d (got %v)", a, b, got)
+			}
+		}
+	}
+}
+
+func TestDomDiamond(t *testing.T) {
+	// 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3: classic diamond; idom(3) = 0 and
+	// DF(1) = DF(2) = {3}.
+	c := makeCFG(4, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	checkAgainstOracle(t, c)
+	d := BuildDom(c)
+	if got := d.Idom(c.Blocks[3]); got != c.Blocks[0] {
+		t.Fatalf("diamond idom(3) = %v, want entry", got)
+	}
+	if fr := d.Frontier(c.Blocks[1]); len(fr) != 1 || fr[0] != c.Blocks[3] {
+		t.Fatalf("diamond DF(1) = %v, want [b3]", fr)
+	}
+}
+
+func TestDomLoop(t *testing.T) {
+	// 0 -> 1 -> 2 -> 1 (back edge), 2 -> 3: the loop head 1 is in its
+	// own dominance frontier.
+	c := makeCFG(4, [][2]int{{0, 1}, {1, 2}, {2, 1}, {2, 3}})
+	checkAgainstOracle(t, c)
+	d := BuildDom(c)
+	found := false
+	for _, b := range d.Frontier(c.Blocks[1]) {
+		if b == c.Blocks[1] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("loop head not in its own frontier: DF(1) = %v", d.Frontier(c.Blocks[1]))
+	}
+}
+
+func TestDomIrreducible(t *testing.T) {
+	// 0 -> 1, 0 -> 2, 1 <-> 2, 1 -> 3, 2 -> 3: the cross edges make the
+	// loop irreducible; neither 1 nor 2 dominates the other, so
+	// idom(1) = idom(2) = idom(3) = 0.
+	c := makeCFG(4, [][2]int{{0, 1}, {0, 2}, {1, 2}, {2, 1}, {1, 3}, {2, 3}})
+	checkAgainstOracle(t, c)
+	d := BuildDom(c)
+	for _, i := range []int{1, 2, 3} {
+		if got := d.Idom(c.Blocks[i]); got != c.Blocks[0] {
+			t.Fatalf("irreducible idom(%d) = %v, want entry", i, got)
+		}
+	}
+}
+
+func TestDomUnreachable(t *testing.T) {
+	// Block 2 has no in-edges: it must dominate nothing, be dominated by
+	// nothing, and have no idom or frontier.
+	c := makeCFG(4, [][2]int{{0, 1}, {1, 3}, {2, 3}})
+	checkAgainstOracle(t, c)
+	d := BuildDom(c)
+	if d.Reachable(c.Blocks[2]) {
+		t.Fatal("block 2 should be unreachable")
+	}
+	if d.Dominates(c.Blocks[2], c.Blocks[2]) {
+		t.Fatal("unreachable block must not dominate itself")
+	}
+}
+
+// TestDomRandomizedOracle is the property test: on 200 randomized CFGs
+// (forward-biased edges plus back and cross edges, some unreachable
+// blocks), the iterative dominator tree, the O(1) Dominates intervals,
+// and the dominance frontiers all agree with the naive remove-one-block
+// reachability oracle.
+func TestDomRandomizedOracle(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		var edges [][2]int
+		// A random spine keeps most blocks reachable.
+		for b := 1; b < n; b++ {
+			if rng.Intn(5) > 0 { // ~1 in 5 blocks left floating
+				edges = append(edges, [2]int{rng.Intn(b), b})
+			}
+		}
+		extra := rng.Intn(2 * n)
+		for i := 0; i < extra; i++ {
+			from, to := rng.Intn(n), rng.Intn(n)
+			edges = append(edges, [2]int{from, to})
+		}
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			checkAgainstOracle(t, makeCFG(n, edges))
+		})
+	}
+}

@@ -1,0 +1,45 @@
+package ssa
+
+// Fixpoint runs sparse forward fact propagation over fn's definitions:
+// every Def starts at bottom, eval recomputes a Def's fact from the
+// facts of the definitions it depends on (phi arguments, reaching
+// definitions of identifiers in its Rhs), and changed facts requeue
+// their Dependents until the map is stable. eval must be monotone over
+// a finite-height lattice for termination; get returns bottom for
+// definitions not yet evaluated.
+func Fixpoint[F any](fn *Func, bottom F, equal func(a, b F) bool, eval func(d *Def, get func(*Def) F) F) map[*Def]F {
+	vals := make(map[*Def]F, len(fn.Defs))
+	get := func(d *Def) F {
+		if d == nil {
+			return bottom
+		}
+		if v, ok := vals[d]; ok {
+			return v
+		}
+		return bottom
+	}
+	inWork := make(map[*Def]bool, len(fn.Defs))
+	work := make([]*Def, 0, len(fn.Defs))
+	for _, d := range fn.Defs {
+		work = append(work, d)
+		inWork[d] = true
+	}
+	for len(work) > 0 {
+		d := work[0]
+		work = work[1:]
+		inWork[d] = false
+		nv := eval(d, get)
+		if equal(nv, get(d)) {
+			vals[d] = nv
+			continue
+		}
+		vals[d] = nv
+		for _, e := range fn.Dependents(d) {
+			if !inWork[e] {
+				inWork[e] = true
+				work = append(work, e)
+			}
+		}
+	}
+	return vals
+}

@@ -172,7 +172,7 @@ func (e *Engine) partitionedTraverse(spec *Spec, cur *concurrent.Frontier, st *S
 			var got int64
 			ps.mail.Drain(q, func(m bmsg) {
 				if dv := dist[m.v]; dv < 0 || m.d < dv {
-					e.claimPart(ps, spec, q, m.v, m.d) //vet:sharedwrite Drain(q) delivers only partition q's mailbox column, so m.v is owned by q; pinned by TestPartitionedMatchesFlat
+					e.claimPart(ps, spec, q, m.v, m.d)
 					ps.fr[q] = append(ps.fr[q], m.v)
 					got++
 				}
@@ -258,7 +258,7 @@ func (e *Engine) localTraverse(ps *partState, spec *Spec, p int32) {
 				ps.frStamp[p]++
 				fs := ps.frStamp[p]
 				for _, u := range cur {
-					ps.inFr[u] = fs //vet:sharedwrite cur is partition p's own frontier, so every u is p-owned; pinned by TestPartitionedMatchesFlat under -race
+					ps.inFr[u] = fs
 				}
 				next = next[:0]
 				for v := lo; v < hi; v++ {

@@ -105,9 +105,9 @@ func (e *Engine) PartitionedSSSP(dist []float64, delta float64, srcs ...int32) S
 			var got int64
 			ss.mail.Drain(property.Index32(p), func(m wmsg) {
 				if m.d < dist[m.v] {
-					dist[m.v] = m.d //vet:sharedwrite Drain(p) delivers only vertices partition p owns; pinned by TestPartitionedSSSPMatchesBellmanFord
+					dist[m.v] = m.d
 					ss.push(p, int(m.d/delta), m.v)
-					ps.markDirty(property.Index32(p), m.v) //vet:sharedwrite m.v is owned by partition p (mailbox column invariant); pinned by TestPartitionedSSSPMatchesBellmanFord
+					ps.markDirty(property.Index32(p), m.v)
 					got++
 				}
 			})

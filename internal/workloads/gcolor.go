@@ -122,7 +122,7 @@ func GColor(g *property.Graph, opt Options) (*Result, error) {
 					}
 				}
 			}
-			colors[vi] = c //vet:sharedwrite work holds each uncolored vertex at most once, so vi is distinct across items; pinned by TestQuickGColorProper
+			colors[vi] = c
 			for {
 				m := maxColorA.Load()
 				if c <= m || maxColorA.CompareAndSwap(m, c) {
