@@ -30,6 +30,8 @@ func main() {
 	scale := flag.Float64("scale", cfg.Scale, "fraction of paper-scale dataset sizes")
 	seed := flag.Int64("seed", cfg.Seed, "generation seed")
 	exp := flag.String("exp", "", "experiment id(s), comma-separated (e.g. fig05,fig07); empty = all")
+	input := flag.String("input", "", "SNAP edge-list input, plain or gzipped, substituted for generated datasets")
+	deltaW := flag.Float64("delta", 0, "SPathDelta bucket width override in native benches (0 = sampled heuristic)")
 	ordering := flag.String("order", "", "vertex ordering for dataset views: "+order.FlagUsage())
 	partitions := flag.Int("partitions", 0, "k-way partition plan composed into dataset views; 0 = flat")
 	jsonOut := flag.Bool("json", false, "measure the benchmark trajectory and write results/BENCH_<scale>.json")
@@ -52,6 +54,8 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Order = *ordering
 	cfg.Partitions = *partitions
+	cfg.Input = *input
+	cfg.Delta = *deltaW
 	s := harness.NewSession(cfg)
 
 	if *jsonOut {

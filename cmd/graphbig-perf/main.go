@@ -1,0 +1,324 @@
+// Command graphbig-perf is the wall-clock companion to the
+// graphbig-bce and graphbig-alloc ratchets: it times the native engine
+// benches at a tiny fixed scale (min-of-N, interleaved repetitions) and
+// compares each timing against results/perf_baseline.json. A bench that
+// slows past the baseline's noise band fails CI until the baseline is
+// deliberately rewritten with -write.
+//
+// Wall-clock is machine-dependent, so the ratchet is banded rather than
+// exact: a measurement only regresses when it exceeds the committed
+// number by the relative band AND an absolute floor (tiny timings jitter
+// by whole scheduler quanta). The committed baseline should come from
+// the same class of machine that runs CI; after changing machines,
+// rebase with -write.
+//
+// Two checks are machine-independent and always exact:
+//
+//  1. visited/checksum per bench must equal the committed values — a
+//     perf change that alters results is a correctness bug, not a
+//     regression;
+//  2. SPathDelta must produce bitwise Bellman-Ford distances, flat and
+//     under a partition sweep (k=1,2,4). Both kernels take minima over
+//     the same left-to-right float path sums, so equality is exact,
+//     not tolerance-based.
+//
+// Usage:
+//
+//	go run ./cmd/graphbig-perf          # compare against the baseline
+//	go run ./cmd/graphbig-perf -write   # rewrite the baseline
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"github.com/graphbig/graphbig-go/internal/gen"
+	"github.com/graphbig/graphbig-go/internal/property"
+	"github.com/graphbig/graphbig-go/internal/workloads"
+)
+
+// benchScale/benchSeed pin the measured input: LDBC at a tiny fixed
+// scale, the same dataset class the BENCH trajectory leads with.
+const (
+	benchScale = 0.02
+	benchSeed  = 42
+)
+
+// absFloorMS is the absolute component of the noise band: a bench never
+// regresses on a delta smaller than this, however small the baseline.
+const absFloorMS = 2.0
+
+// benchResult is one committed measurement: the banded wall-clock plus
+// the exact, machine-independent result fingerprint.
+type benchResult struct {
+	MS       float64 `json:"ms"`
+	Visited  int64   `json:"visited"`
+	Checksum float64 `json:"checksum"`
+}
+
+type baseline struct {
+	Note string `json:"note,omitempty"`
+	// History records notable before/after movements of the ratchet;
+	// -write preserves it.
+	History []string               `json:"history,omitempty"`
+	Scale   float64                `json:"scale"`
+	Seed    int64                  `json:"seed"`
+	Repeats int                    `json:"repeats"`
+	Band    float64                `json:"band"`
+	Benches map[string]benchResult `json:"benches"`
+}
+
+type benchDef struct {
+	name       string
+	partitions int
+	run        func(*property.Graph, workloads.Options) (*workloads.Result, error)
+}
+
+var benches = []benchDef{
+	{"BFS@flat", 0, workloads.BFS},
+	{"CComp@flat", 0, workloads.CComp},
+	{"SPathDelta@flat", 0, workloads.SPathDelta},
+	{"SPathDelta@part4", 4, workloads.SPathDelta},
+}
+
+func main() {
+	write := flag.Bool("write", false, "rewrite the baseline with the measured timings")
+	path := flag.String("baseline", "results/perf_baseline.json", "baseline file")
+	repeats := flag.Int("repeats", 7, "repetitions per bench; the minimum is kept")
+	band := flag.Float64("band", 0.40, "relative noise band recorded into the baseline by -write")
+	flag.Parse()
+
+	got, err := measure(*repeats)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphbig-perf:", err)
+		os.Exit(2)
+	}
+	if err := checkDistances(); err != nil {
+		fmt.Fprintln(os.Stderr, "graphbig-perf:", err)
+		os.Exit(1)
+	}
+	if *write {
+		if err := writeBaseline(*path, got, *repeats, *band); err != nil {
+			fmt.Fprintln(os.Stderr, "graphbig-perf:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("graphbig-perf: wrote %s (%d benches)\n", *path, len(got))
+		return
+	}
+	base, err := readBaseline(*path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphbig-perf:", err)
+		os.Exit(2)
+	}
+	lines, failed := compare(base, got)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if failed {
+		fmt.Println("graphbig-perf: wall-clock regression or result drift; fix the slowdown or rerun with -write to accept")
+		os.Exit(1)
+	}
+}
+
+// measure times every bench min-of-repeats with the repetitions
+// interleaved across benches (the same estimator the BENCH trajectory
+// uses): the minimum is the least-contended observation, and
+// interleaving keeps one bench's cache wake-up from flattering the
+// next.
+func measure(repeats int) (map[string]benchResult, error) {
+	d, err := gen.ByName("ldbc")
+	if err != nil {
+		return nil, err
+	}
+	g := d.Generate(benchScale, benchSeed, 0)
+	flat := g.ViewWith(property.ViewOpts{})
+	src := flat.Verts[0].ID
+	views := map[int]*property.View{0: flat}
+	for _, b := range benches {
+		if _, ok := views[b.partitions]; !ok {
+			views[b.partitions] = g.ViewWith(property.ViewOpts{Partitions: b.partitions})
+		}
+	}
+	got := make(map[string]benchResult, len(benches))
+	for rep := 0; rep < repeats; rep++ {
+		for _, b := range benches {
+			t0 := time.Now()
+			res, err := b.run(g, workloads.Options{Source: src, Seed: benchSeed, View: views[b.partitions]})
+			ms := float64(time.Since(t0).Nanoseconds()) / 1e6
+			if err != nil {
+				return nil, fmt.Errorf("bench %s: %v", b.name, err)
+			}
+			cur, ok := got[b.name]
+			if !ok || ms < cur.MS {
+				got[b.name] = benchResult{MS: ms, Visited: res.Visited, Checksum: res.Checksum}
+			}
+		}
+	}
+	return got, nil
+}
+
+// checkDistances runs the machine-independent oracles: SPathDelta's
+// distances must be bitwise Bellman-Ford, flat and at every partition
+// count in the sweep.
+func checkDistances() error {
+	d, err := gen.ByName("ldbc")
+	if err != nil {
+		return err
+	}
+	g := d.Generate(benchScale, benchSeed, 0)
+	flat := g.ViewWith(property.ViewOpts{})
+	src := flat.Verts[0].ID
+	srcIdx := flat.IndexOf(src)
+	want := bellmanFord(flat, srcIdx)
+	for _, k := range []int{0, 1, 2, 4} {
+		vw := flat
+		if k > 0 {
+			vw = g.ViewWith(property.ViewOpts{Partitions: k})
+		}
+		if _, err := workloads.SPathDelta(g, workloads.Options{Source: src, View: vw}); err != nil {
+			return fmt.Errorf("SPathDelta k=%d: %v", k, err)
+		}
+		got := snapshotDist(g, vw)
+		for id, w := range want {
+			gd, ok := got[id]
+			if !ok || (gd != w && !(math.IsInf(gd, 1) && math.IsInf(w, 1))) {
+				return fmt.Errorf("SPathDelta k=%d: dist[%d] = %v, Bellman-Ford says %v", k, id, gd, w)
+			}
+		}
+	}
+	return nil
+}
+
+// bellmanFord computes exact shortest-path distances by vertex ID over
+// the view, relaxing until fixpoint.
+func bellmanFord(vw *property.View, src int32) map[property.VertexID]float64 {
+	n := vw.Len()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	for changed := true; changed; {
+		changed = false
+		for u := 0; u < n; u++ {
+			du := dist[u]
+			if math.IsInf(du, 1) {
+				continue
+			}
+			adj := vw.Adj(int32(u))
+			wts := vw.AdjW(int32(u))[:len(adj)]
+			for j, v := range adj {
+				if nd := du + wts[j]; nd < dist[v] {
+					dist[v] = nd
+					changed = true
+				}
+			}
+		}
+	}
+	out := make(map[property.VertexID]float64, n)
+	for i := range vw.Verts {
+		out[vw.Verts[i].ID] = dist[i]
+	}
+	return out
+}
+
+// snapshotDist reads the SPathDelta distance field by vertex ID, so
+// comparisons survive any index permutation between views.
+func snapshotDist(g *property.Graph, vw *property.View) map[property.VertexID]float64 {
+	f := g.Schema().MustField(workloads.SPathDistField)
+	out := make(map[property.VertexID]float64, len(vw.Verts))
+	for i := range vw.Verts {
+		out[vw.Verts[i].ID] = vw.Verts[i].Prop(f)
+	}
+	return out
+}
+
+// compare diffs measured timings and fingerprints against the baseline.
+// Result drift fails exactly; wall-clock fails only past the baseline's
+// relative band plus the absolute floor.
+func compare(base *baseline, got map[string]benchResult) (lines []string, failed bool) {
+	names := make([]string, 0, len(base.Benches))
+	for name := range base.Benches {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base.Benches[name]
+		g, ok := got[name]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("MISSING   %s: in baseline but not measured", name))
+			failed = true
+			continue
+		}
+		if g.Visited != b.Visited || g.Checksum != b.Checksum {
+			lines = append(lines, fmt.Sprintf("DRIFT     %s: visited/checksum %d/%g, baseline %d/%g",
+				name, g.Visited, g.Checksum, b.Visited, b.Checksum))
+			failed = true
+			continue
+		}
+		limit := b.MS * (1 + base.Band)
+		switch {
+		case g.MS > limit && g.MS > b.MS+absFloorMS:
+			lines = append(lines, fmt.Sprintf("REGRESSED %s: %.3fms -> %.3fms (band limit %.3fms)", name, b.MS, g.MS, limit))
+			failed = true
+		case g.MS < b.MS*(1-base.Band) && g.MS < b.MS-absFloorMS:
+			lines = append(lines, fmt.Sprintf("improved  %s: %.3fms -> %.3fms; rerun with -write to ratchet down", name, b.MS, g.MS))
+		default:
+			lines = append(lines, fmt.Sprintf("ok        %s: %.3fms (baseline %.3fms)", name, g.MS, b.MS))
+		}
+	}
+	for name := range got {
+		if _, ok := base.Benches[name]; !ok {
+			lines = append(lines, fmt.Sprintf("NEW       %s: not in baseline; rerun with -write to record", name))
+			failed = true
+		}
+	}
+	return lines, failed
+}
+
+func readBaseline(path string) (*baseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("%v (run with -write to create the baseline)", err)
+	}
+	var b baseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", path, err)
+	}
+	if b.Benches == nil {
+		b.Benches = map[string]benchResult{}
+	}
+	if b.Band <= 0 {
+		b.Band = 0.40
+	}
+	return &b, nil
+}
+
+func writeBaseline(path string, got map[string]benchResult, repeats int, band float64) error {
+	b := baseline{
+		Note: "Min-of-N native engine wall-clock at tiny fixed scale, plus exact visited/checksum fingerprints. " +
+			"Ratcheted by cmd/graphbig-perf in CI: timings fail past the noise band, result drift fails exactly.",
+		Scale:   benchScale,
+		Seed:    benchSeed,
+		Repeats: repeats,
+		Band:    band,
+		Benches: got,
+	}
+	if prev, err := readBaseline(path); err == nil {
+		b.History = prev.History
+	}
+	raw, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

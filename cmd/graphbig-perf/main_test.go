@@ -1,0 +1,110 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/graphbig/graphbig-go/internal/property"
+	"github.com/graphbig/graphbig-go/internal/workloads"
+)
+
+// TestCompareBand pins the ratchet decision table: result drift and
+// banded slowdowns fail, in-band jitter and improvements do not, and a
+// bench on either side only (baseline-only or measured-only) fails.
+func TestCompareBand(t *testing.T) {
+	base := &baseline{
+		Band: 0.40,
+		Benches: map[string]benchResult{
+			"fast":  {MS: 1.0, Visited: 10, Checksum: 5},
+			"slow":  {MS: 100.0, Visited: 10, Checksum: 5},
+			"gone":  {MS: 1.0, Visited: 10, Checksum: 5},
+			"drift": {MS: 1.0, Visited: 10, Checksum: 5},
+		},
+	}
+	got := map[string]benchResult{
+		// 3x slower but under the 2ms absolute floor: tiny timings jitter.
+		"fast": {MS: 2.9, Visited: 10, Checksum: 5},
+		// Past the band AND the floor: a real regression.
+		"slow": {MS: 160.0, Visited: 10, Checksum: 5},
+		// Same wall-clock, different answer: exact failure.
+		"drift": {MS: 1.0, Visited: 10, Checksum: 6},
+		"new":   {MS: 1.0, Visited: 1, Checksum: 1},
+	}
+	lines, failed := compare(base, got)
+	if !failed {
+		t.Fatal("regression + drift + missing + new must fail")
+	}
+	want := map[string]string{
+		"fast":  "ok",
+		"slow":  "REGRESSED",
+		"gone":  "MISSING",
+		"drift": "DRIFT",
+		"new":   "NEW",
+	}
+	for name, prefix := range want {
+		found := false
+		for _, l := range lines {
+			if len(l) >= len(prefix) && l[:len(prefix)] == prefix &&
+				containsWord(l, name) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no %q line for bench %q in %q", prefix, name, lines)
+		}
+	}
+
+	// All in band: green.
+	if _, failed := compare(base, map[string]benchResult{
+		"fast":  {MS: 1.3, Visited: 10, Checksum: 5},
+		"slow":  {MS: 60.0, Visited: 10, Checksum: 5}, // improvement
+		"gone":  {MS: 1.0, Visited: 10, Checksum: 5},
+		"drift": {MS: 1.0, Visited: 10, Checksum: 5},
+	}); failed {
+		t.Error("in-band timings with exact fingerprints must pass")
+	}
+}
+
+func containsWord(l, w string) bool {
+	for i := 0; i+len(w) <= len(l); i++ {
+		if l[i:i+len(w)] == w {
+			return true
+		}
+	}
+	return false
+}
+
+// TestBellmanFordOracle checks the in-process oracle against SPathDelta
+// on a handmade graph where the greedy first path is not the shortest:
+// 1->2->4 costs 6, 1->3->4 costs 3.
+func TestBellmanFordOracle(t *testing.T) {
+	g := property.New(property.Options{Directed: true, TrackInEdges: true})
+	for id := property.VertexID(1); id <= 5; id++ {
+		g.AddVertex(id)
+	}
+	for _, e := range []struct {
+		s, d property.VertexID
+		w    float64
+	}{{1, 2, 1}, {2, 4, 5}, {1, 3, 2}, {3, 4, 1}, {4, 5, 0.5}} {
+		if err := g.AddEdge(e.s, e.d, e.w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vw := g.ViewWith(property.ViewOpts{})
+	src := vw.Verts[0].ID
+	want := bellmanFord(vw, vw.IndexOf(src))
+	if want[4] != 3 || want[5] != 3.5 {
+		t.Fatalf("oracle wrong on handmade graph: %v", want)
+	}
+	if want[1] != 0 {
+		t.Fatalf("source distance = %v, want 0", want[1])
+	}
+	if _, err := workloads.SPathDelta(g, workloads.Options{Source: src, View: vw}); err != nil {
+		t.Fatal(err)
+	}
+	got := snapshotDist(g, vw)
+	for id, w := range want {
+		if got[id] != w {
+			t.Errorf("dist[%d] = %v, oracle %v", id, got[id], w)
+		}
+	}
+}

@@ -36,9 +36,11 @@ func main() {
 	wlName := flag.String("workload", "BFS", "workload name (see -list)")
 	dataset := flag.String("dataset", "ldbc", "generated dataset name")
 	in := flag.String("in", "", "edge-list file input (overrides -dataset)")
+	input := flag.String("input", "", "SNAP edge-list input, plain or gzipped (overrides -dataset)")
 	scale := flag.Float64("scale", 0.02, "generation scale")
 	seed := flag.Int64("seed", 42, "seed")
 	workers := flag.Int("workers", 0, "native worker count (0 = GOMAXPROCS)")
+	deltaW := flag.Float64("delta", 0, "SPathDelta bucket width override (0 = sampled heuristic)")
 	ordering := flag.String("order", "none", "vertex ordering composed into the view: "+order.FlagUsage())
 	partitions := flag.Int("partitions", 0, "k-way partitioned (subgraph-centric) native execution; 0 = flat engine")
 	partitionBy := flag.String("partition-by", "edge", "partition balance target: edge|vertex")
@@ -90,7 +92,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	ctx := &core.RunContext{Opt: workloads.Options{Workers: *workers, Seed: *seed, Samples: *samples}}
+	ctx := &core.RunContext{Opt: workloads.Options{Workers: *workers, Seed: *seed, Samples: *samples, Delta: *deltaW}}
 
 	if wl.NeedsBayes {
 		s := harness.NewSession(harness.DefaultConfig())
@@ -107,12 +109,18 @@ func main() {
 	}
 
 	var g *property.Graph
-	if *in != "" {
+	switch {
+	case *input != "":
+		g, err = loader.LoadSNAP(*input)
+		if err != nil {
+			fatal(err)
+		}
+	case *in != "":
 		g, err = loader.Load(*in)
 		if err != nil {
 			fatal(err)
 		}
-	} else {
+	default:
 		d, err := gen.ByName(*dataset)
 		if err != nil {
 			fatal(err)

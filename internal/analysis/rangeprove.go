@@ -64,7 +64,7 @@ func (fa *funcAnalysis) refineExpr(env *Env, e ast.Expr, side boundSide, b Bound
 				cur = lv
 			}
 			if side == boundUpper {
-				cur.Hi = meetHi(cur.Hi, b)
+				cur.Hi = env.refineHi(cur.Hi, b)
 			} else {
 				cur.Lo = env.refineLo(cur.Lo, b, ConstBound(0))
 			}
@@ -79,11 +79,12 @@ func (fa *funcAnalysis) refineExpr(env *Env, e ast.Expr, side boundSide, b Bound
 // symbol the environment tracks with a frame BELOW trLo — the refined
 // variable's own type minimum — is widening garbage, and accepting it
 // would displace a guard-established constant (`ns >= 1` lost to
-// `ns >= p+1` with p widened to -inf). Upper bounds never need the
-// mirror test: a tracked symbol's frame is already clipped to its
-// type maximum, and the vacuous-looking +inf frames (hint and
+// `ns >= p+1` with p widened to -inf). Variable upper bounds never
+// need the mirror test: a tracked symbol's frame is already clipped to
+// its type maximum, and the vacuous-looking +inf frames (hint and
 // len-of-growing-queue patterns) are exactly the bounds same-symbol
-// proofs are built from.
+// proofs are built from. Length upper bounds are the one exception —
+// see refineHi.
 func (e *Env) refineLo(cur, cand, trLo Bound) Bound {
 	if leqBound(cand, cur) {
 		return cur
@@ -97,6 +98,56 @@ func (e *Env) refineLo(cur, cand, trLo Bound) Bound {
 		return cur
 	}
 	return cand
+}
+
+// refineHi returns the better upper bound for a tracked length. A
+// symbolic candidate normally wins (it is the fresher fact), with the
+// mirror exception to refineLo: a candidate whose symbol the
+// environment tracks with a frame at its own type maximum (or +inf)
+// is widening garbage, and accepting it would displace a
+// guard-established constant — `len(words) <= C` lost to
+// `len(words) <= wi` on a loop's break edge, with wi widened to the
+// int maximum at the loop head. Unlike variable upper bounds, a
+// vacuous-framed symbolic ceiling on a *length* feeds no same-symbol
+// proof downstream (index and slice proofs consume length floors, not
+// ceilings), so keeping the constant is strictly more useful.
+func (e *Env) refineHi(cur, cand Bound) Bound {
+	if leqBound(cur, cand) {
+		return cur
+	}
+	if leqBound(cand, cur) {
+		return cand
+	}
+	if cur.isConst() && cur.K < maxSliceLen &&
+		cand.Sym != nil && e.vacuousSymHi(cand) {
+		return cur
+	}
+	return cand
+}
+
+// vacuousSymHi reports whether b's symbol is tracked here with an upper
+// bound that says nothing — its own type maximum or +inf. Typical of a
+// loop variable widened at the loop head.
+func (e *Env) vacuousSymHi(b Bound) bool {
+	if b.IsLen {
+		lv, ok := e.lens[b.Sym]
+		if !ok {
+			return false
+		}
+		return lv.Hi.Inf == +1
+	}
+	iv, ok := e.vars[b.Sym]
+	if !ok {
+		return false
+	}
+	if iv.Hi.Inf == +1 {
+		return true
+	}
+	if tr, trok := TypeRange(b.Sym.Type()); trok && tr.Hi.Inf == 0 &&
+		iv.Hi.Inf == 0 && iv.Hi.Sym == nil && iv.Hi.K == tr.Hi.K {
+		return true
+	}
+	return false
 }
 
 // vacuousSymLo reports whether b's symbol is tracked here with a lower

@@ -1,0 +1,182 @@
+package concurrent
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestHierBitmapBasics(t *testing.T) {
+	b := NewHierBitmap(130)
+	if b.Len() != 130 {
+		t.Errorf("Len = %d", b.Len())
+	}
+	if b.Test(0) || b.Test(129) {
+		t.Error("fresh bitmap has set bits")
+	}
+	if !b.TrySet(129) {
+		t.Error("first TrySet must succeed")
+	}
+	if b.TrySet(129) {
+		t.Error("second TrySet must fail")
+	}
+	if !b.Test(129) {
+		t.Error("bit not set")
+	}
+	b.Set(5)
+	b.Set(5)
+	if b.Count() != 2 {
+		t.Errorf("Count = %d, want 2", b.Count())
+	}
+	b.Clear()
+	if b.Count() != 0 {
+		t.Error("Clear failed")
+	}
+	if b.NextSet(0) != -1 {
+		t.Error("NextSet on cleared bitmap must be -1")
+	}
+}
+
+// TestHierBitmapVsFlatOracle drives random op sequences against both the
+// hierarchical bitmap and the flat Bitmap oracle, checking set/query/
+// iterate equivalence after every op batch. Sizes straddle the word and
+// summary-word (64 and 4096 bit) boundaries where the hierarchy math can
+// go wrong.
+func TestHierBitmapVsFlatOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 63, 64, 65, 127, 4095, 4096, 4097, 20000} {
+		h := NewHierBitmap(n)
+		o := NewBitmap(n)
+		for round := 0; round < 40; round++ {
+			// A batch of random mutations applied to both.
+			for op := 0; op < 50; op++ {
+				i := rng.Intn(n)
+				switch rng.Intn(3) {
+				case 0:
+					h.Set(i)
+					o.Set(i)
+				case 1:
+					hs, os := h.TrySet(i), o.TrySet(i)
+					if hs != os {
+						t.Fatalf("n=%d: TrySet(%d) = %v, oracle %v", n, i, hs, os)
+					}
+				case 2:
+					if h.Test(i) != o.Test(i) {
+						t.Fatalf("n=%d: Test(%d) mismatch", n, i)
+					}
+				}
+			}
+			if h.Count() != o.Count() {
+				t.Fatalf("n=%d round=%d: Count = %d, oracle %d", n, round, h.Count(), o.Count())
+			}
+			hs, os := h.AppendSet(nil), o.AppendSet(nil)
+			if len(hs) != len(os) {
+				t.Fatalf("n=%d: AppendSet lengths %d vs %d", n, len(hs), len(os))
+			}
+			for k := range hs {
+				if hs[k] != os[k] {
+					t.Fatalf("n=%d: AppendSet[%d] = %d, oracle %d", n, k, hs[k], os[k])
+				}
+			}
+			// NextSet-driven range scan must visit exactly the oracle's bits.
+			k := 0
+			for i := h.NextSet(0); i != -1; i = h.NextSet(i + 1) {
+				if k >= len(os) || int32(i) != os[k] {
+					t.Fatalf("n=%d: NextSet scan diverged at %d (pos %d)", n, i, k)
+				}
+				k++
+			}
+			if k != len(os) {
+				t.Fatalf("n=%d: NextSet scan stopped after %d of %d bits", n, k, len(os))
+			}
+			// CountRange against a brute-force oracle on random windows.
+			for probe := 0; probe < 8; probe++ {
+				lo, hi := rng.Intn(n+1), rng.Intn(n+1)
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				want := 0
+				for i := lo; i < hi; i++ {
+					if o.Test(i) {
+						want++
+					}
+				}
+				if got := h.CountRange(lo, hi); got != want {
+					t.Fatalf("n=%d: CountRange(%d,%d) = %d, want %d", n, lo, hi, got, want)
+				}
+			}
+			if round%7 == 3 {
+				h.Clear()
+				o.Clear()
+			}
+		}
+	}
+}
+
+func TestHierBitmapCountRangeClamps(t *testing.T) {
+	b := NewHierBitmap(100)
+	b.Set(0)
+	b.Set(99)
+	if got := b.CountRange(-5, 1000); got != 2 {
+		t.Errorf("clamped CountRange = %d, want 2", got)
+	}
+	if got := b.CountRange(50, 50); got != 0 {
+		t.Errorf("empty CountRange = %d, want 0", got)
+	}
+	if got := b.CountRange(70, 30); got != 0 {
+		t.Errorf("inverted CountRange = %d, want 0", got)
+	}
+}
+
+func TestHierBitmapTrySetExactlyOnce(t *testing.T) {
+	const n, workers = 1 << 14, 8
+	b := NewHierBitmap(n)
+	var wins atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if b.TrySet(i) {
+					wins.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if wins.Load() != n {
+		t.Errorf("wins = %d, want %d (each bit claimed exactly once)", wins.Load(), n)
+	}
+	if b.Count() != n {
+		t.Errorf("Count = %d", b.Count())
+	}
+	// Every summary mark must have survived the racing setters: a lost
+	// mark would hide a populated word from the scans.
+	if got := len(b.AppendSet(nil)); got != n {
+		t.Errorf("AppendSet found %d bits, want %d", got, n)
+	}
+}
+
+// TestHierBitmapSparseScanTouchesSummary sets one bit far into a large
+// bitmap and checks the scans still find it (the summary-skip paths).
+func TestHierBitmapSparseScanTouchesSummary(t *testing.T) {
+	const n = 1 << 20
+	b := NewHierBitmap(n)
+	b.Set(n - 2)
+	if got := b.NextSet(0); got != n-2 {
+		t.Errorf("NextSet(0) = %d, want %d", got, n-2)
+	}
+	if got := b.CountRange(0, n); got != 1 {
+		t.Errorf("CountRange = %d, want 1", got)
+	}
+	s := b.AppendSet(nil)
+	if len(s) != 1 || s[0] != n-2 {
+		t.Errorf("AppendSet = %v", s)
+	}
+	b.Clear()
+	if b.Count() != 0 || b.NextSet(0) != -1 {
+		t.Error("Clear left bits behind")
+	}
+}

@@ -48,7 +48,7 @@ type Engine struct {
 	// Cached traversal scaffolding, allocated on first use and reused
 	// across Traverse calls (CComp runs one traversal per component).
 	cur, next *concurrent.Frontier
-	bits      [2]*concurrent.Bitmap
+	bits      [2]*concurrent.HierBitmap
 	sparse    []int32    // scratch for bitmap sparsification at pull exit
 	prt       *partState // partitioned-mode scaffolding (partitioned.go)
 }
@@ -112,11 +112,13 @@ func (e *Engine) frontiers() (cur, next *concurrent.Frontier) {
 }
 
 // bitmaps returns the cached dense-frontier bitmaps, allocating on first
-// use. Callers clear them before reuse.
-func (e *Engine) bitmaps() (cur, next *concurrent.Bitmap) {
+// use. Callers clear them before reuse. The hierarchical form keeps the
+// per-round Clear and the pull-exit sparsification proportional to the
+// populated words instead of the vertex count (DESIGN.md §12).
+func (e *Engine) bitmaps() (cur, next *concurrent.HierBitmap) {
 	if e.bits[0] == nil {
-		e.bits[0] = concurrent.NewBitmap(e.n)
-		e.bits[1] = concurrent.NewBitmap(e.n)
+		e.bits[0] = concurrent.NewHierBitmap(e.n)
+		e.bits[1] = concurrent.NewHierBitmap(e.n)
 	}
 	return e.bits[0], e.bits[1]
 }

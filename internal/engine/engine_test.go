@@ -84,6 +84,36 @@ func TestTraverseDirectionOptimizedMatchesPush(t *testing.T) {
 	}
 }
 
+// TestTraverseHierFrontierDifferential forces the pull phase — which
+// densifies and sparsifies through the hierarchical frontier bitmaps —
+// on a dense graph and checks the resulting levels against a pure-push
+// oracle at k∈{1,4} workers. A lost summary mark or a broken AppendSet
+// would surface as diverging levels or a short reach count.
+func TestTraverseHierFrontierDifferential(t *testing.T) {
+	g := gen.LDBC(3000, 9, 1)
+	vw := g.View()
+	oracle := newDist(vw.Len())
+	oracle[0] = 0
+	ost := New(g, vw, 1).Traverse(&Spec{Dist: oracle, NoPull: true}, 0)
+	for _, workers := range []int{1, 4} {
+		e := New(g, vw, workers)
+		dist := newDist(e.N())
+		dist[0] = 0
+		st := e.Traverse(&Spec{Dist: dist}, 0)
+		if st.PullRounds == 0 {
+			t.Fatalf("workers=%d: no pull rounds; the hierarchical frontier was not exercised", workers)
+		}
+		if st.Reached != ost.Reached || st.Depth != ost.Depth {
+			t.Errorf("workers=%d: stats diverge: %+v vs push oracle %+v", workers, st, ost)
+		}
+		for i := range dist {
+			if dist[i] != oracle[i] {
+				t.Fatalf("workers=%d: dist[%d] = %d, oracle %d", workers, i, dist[i], oracle[i])
+			}
+		}
+	}
+}
+
 func TestTraverseVisitExactlyOnceAndLabels(t *testing.T) {
 	g := gen.Twitter(800, 11, 0)
 	vw := g.View()

@@ -36,6 +36,7 @@ type ssspState struct {
 	mail  *concurrent.Mailboxes[wmsg]
 	bkt   [][][]int32 // bkt[p][b]: partition p's bucket b
 	bhigh []int       // highest bucket index pushed per partition
+	spare [][]int32   // per-partition drained-bucket backing, ping-ponged in localSSSP
 }
 
 func (e *Engine) ssspScaffold(ps *partState) *ssspState {
@@ -45,6 +46,7 @@ func (e *Engine) ssspScaffold(ps *partState) *ssspState {
 			mail:  concurrent.NewMailboxes[wmsg](k),
 			bkt:   make([][][]int32, k),
 			bhigh: make([]int, k),
+			spare: make([][]int32, k),
 		}
 	}
 	return ps.sssp
@@ -157,7 +159,11 @@ func (e *Engine) localSSSP(ps *partState, ss *ssspState, dist []float64, delta f
 			if len(work) == 0 {
 				break
 			}
-			ss.bkt[p][b] = nil
+			// Ping-pong the drained slice with the partition's spare
+			// backing: re-adds append into last round's capacity, and the
+			// just-drained buffer becomes next round's spare, so
+			// steady-state drains allocate nothing.
+			ss.bkt[p][b] = ss.spare[p][:0]
 			for _, u := range work {
 				du := dist[u]
 				if int(du/delta) < b {
@@ -178,8 +184,7 @@ func (e *Engine) localSSSP(ps *partState, ss *ssspState, dist []float64, delta f
 					}
 				}
 			}
-			// The drained slice's capacity is lost to the re-pushed
-			// buckets; the dense array itself is reused across calls.
+			ss.spare[p] = work[:0]
 		}
 	}
 	ss.bhigh[p] = 0

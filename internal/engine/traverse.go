@@ -189,8 +189,13 @@ func (e *Engine) pushRound(spec *Spec, cur, next *concurrent.Frontier, round int
 // chunk, so the phase needs no atomics on Dist. Rounds continue until the
 // awake count drops below n/Beta (or the traversal dies out), at which
 // point the surviving bitmap is sparsified back into cur for push mode.
+//
+// The scan is prefetch-friendly: the reverse-CSR offset and neighbor
+// arrays are hoisted out of the loop once, each chunk walks a contiguous
+// offset window, and every in-neighbor row is cut out as one slice — the
+// offsets stream linearly, the row loads stream linearly, and the only
+// irregular accesses left are the frontier-bitmap probes.
 func (e *Engine) pullPhase(spec *Spec, cur *concurrent.Frontier, round *int32, st *Stats) {
-	vw := e.vw
 	dist := spec.Dist
 	n := e.n
 	curBits, nextBits := e.bitmaps()
@@ -198,35 +203,50 @@ func (e *Engine) pullPhase(spec *Spec, cur *concurrent.Frontier, round *int32, s
 	for _, v := range cur.Slice() {
 		curBits.Set(int(v))
 	}
+	inOff, inNbr := e.vw.InOff, e.vw.InNbr
 	for {
 		nextBits.Clear()
 		var produced atomic.Int64
 		r := *round
 		e.ForChunks(func(lo, hi int) {
 			var p int64
-			// Re-slice to the chunk extent: d's range index needs no
-			// bounds check, where dist[v] cost one per probe.
+			if lo >= hi {
+				return
+			}
+			// Re-slice to the chunk extent: d and off are windows of the
+			// same [lo,hi) range, with off one element longer so off[dv+1]
+			// reads the row end. The two one-time probes teach the
+			// bounds-check eliminator (and the vet prover) that relation in
+			// both directions, so the loop body indexes check-free.
 			d := dist[lo:hi]
+			off := inOff[lo : hi+1]
+			_ = off[len(d)]
+			_ = d[len(off)-2]
 			for dv := range d {
 				if d[dv] >= 0 {
 					continue
 				}
-				v := lo + dv
-				v32 := property.Index32(v)
-				for _, u := range vw.InAdj(v32) {
+				row := inNbr[off[dv]:off[dv+1]]
+				claimed := false
+				for _, u := range row {
 					if curBits.Test(int(u)) {
-						d[dv] = r
-						if spec.Labels != nil {
-							spec.Labels[v] = spec.Label
-						}
-						if spec.Visit != nil {
-							spec.Visit(v32, r)
-						}
-						nextBits.Set(v)
-						p++
+						claimed = true
 						break
 					}
 				}
+				if !claimed {
+					continue
+				}
+				d[dv] = r
+				v := lo + dv
+				if spec.Labels != nil {
+					spec.Labels[v] = spec.Label
+				}
+				if spec.Visit != nil {
+					spec.Visit(property.Index32(v), r)
+				}
+				nextBits.Set(v)
+				p++
 			}
 			if p != 0 {
 				produced.Add(p)

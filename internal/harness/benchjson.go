@@ -161,7 +161,8 @@ func BenchRecords(s *Session) ([]RunRecord, error) {
 			for _, ordering := range order.Names {
 				t0 := time.Now()
 				res, err := er.run(g, workloads.Options{
-					Workers: cfg.Workers, Seed: cfg.Seed, Source: src, View: views[ordering],
+					Workers: cfg.Workers, Seed: cfg.Seed, Source: src,
+					View: views[ordering], Delta: cfg.Delta,
 				})
 				ms := float64(time.Since(t0).Nanoseconds()) / 1e6
 				if err != nil {
@@ -230,7 +231,8 @@ func BenchRecords(s *Session) ([]RunRecord, error) {
 			for _, k := range benchPartitionCounts {
 				t0 := time.Now()
 				res, err := er.run(g, workloads.Options{
-					Workers: cfg.Workers, Seed: cfg.Seed, Source: src, View: partViews[k],
+					Workers: cfg.Workers, Seed: cfg.Seed, Source: src,
+					View: partViews[k], Delta: cfg.Delta,
 				})
 				ms := float64(time.Since(t0).Nanoseconds()) / 1e6
 				if err != nil {

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -321,5 +323,37 @@ func TestChartRendering(t *testing.T) {
 	}
 	if _, ok := parseNumeric("n/a"); ok {
 		t.Error("parseNumeric should reject non-numbers")
+	}
+}
+
+// TestSessionInputSubstitution pins the -input wiring: a SNAP file
+// replaces every generated dataset name with one shared loaded graph.
+func TestSessionInputSubstitution(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "toy.txt")
+	snap := "# toy SNAP graph\n0 1 2\n1 2\n2 0 0.5\n"
+	if err := os.WriteFile(path, []byte(snap), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Input = path
+	s := NewSession(cfg)
+	a, err := s.Graph("ldbc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.VertexCount(); got != 3 {
+		t.Fatalf("loaded %d vertices, want 3", got)
+	}
+	b, err := s.Graph("twitter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("input graph not shared across dataset names")
+	}
+	bad := DefaultConfig()
+	bad.Input = filepath.Join(t.TempDir(), "missing.txt")
+	if _, err := NewSession(bad).Graph("ldbc"); err == nil {
+		t.Error("missing input file should fail")
 	}
 }

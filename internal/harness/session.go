@@ -14,6 +14,7 @@ import (
 	"github.com/graphbig/graphbig-go/internal/csr"
 	"github.com/graphbig/graphbig-go/internal/gen"
 	"github.com/graphbig/graphbig-go/internal/gpuwl"
+	"github.com/graphbig/graphbig-go/internal/loader"
 	"github.com/graphbig/graphbig-go/internal/order"
 	"github.com/graphbig/graphbig-go/internal/perfmon"
 	"github.com/graphbig/graphbig-go/internal/property"
@@ -41,6 +42,16 @@ type Config struct {
 	// supersteps). Results are partition-invariant; instrumented runs
 	// ignore the plan, keeping parity streams byte-identical.
 	Partitions int
+	// Input, when non-empty, is a SNAP edge-list file (plain or gzipped)
+	// substituted for every generated dataset: Graph() loads it once and
+	// serves it under any requested name, so the bench trajectory and
+	// experiments run on a real downloaded graph instead of the
+	// generators. Scale and Seed still label the records.
+	Input string
+	// Delta, when > 0, overrides SPathDelta's sampled bucket-width
+	// heuristic in native engine benchmarks. Distances are
+	// delta-invariant; only scheduling and wall-clock change.
+	Delta float64
 	// Machine is the simulated CPU (Table 6).
 	Machine perfmon.Config
 	// CPUClockHz and CPUCores parameterize the Fig 12 CPU-side cost model.
@@ -116,9 +127,24 @@ func NewSession(cfg Config) *Session {
 	}
 }
 
-// Graph returns the cached dataset, generating it on first use.
+// Graph returns the cached dataset, generating it on first use. When
+// Cfg.Input names a SNAP file, that file is loaded once and substituted
+// for every dataset name (mutating workloads still clone, so the shared
+// graph stays pristine).
 func (s *Session) Graph(name string) (*property.Graph, error) {
 	if g, ok := s.graphs[name]; ok {
+		return g, nil
+	}
+	if s.Cfg.Input != "" {
+		g, ok := s.graphs["\x00input"]
+		if !ok {
+			var err error
+			if g, err = loader.LoadSNAP(s.Cfg.Input); err != nil {
+				return nil, err
+			}
+			s.graphs["\x00input"] = g
+		}
+		s.graphs[name] = g
 		return g, nil
 	}
 	d, err := gen.ByName(name)

@@ -14,6 +14,7 @@ package loader
 
 import (
 	"bufio"
+	"compress/gzip"
 	"fmt"
 	"io"
 	"os"
@@ -116,6 +117,86 @@ func Read(r io.Reader) (*property.Graph, error) {
 		return nil, err
 	}
 	return g, nil
+}
+
+// ReadSNAP parses a SNAP-style edge list: one `src dst [weight]` pair
+// per line, whitespace-separated, with `#` comment lines (the header
+// convention of the snap.stanford.edu datasets). Vertices are created
+// on first mention; absent weights default to 1. The graph is directed
+// with in-edge tracking, so engine pull phases and reverse-CSR
+// workloads run on real datasets exactly as on generated ones. The
+// stream may be gzip-compressed — the reader sniffs the two magic
+// bytes rather than trusting a file extension.
+func ReadSNAP(r io.Reader) (*property.Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("loader: gzip: %w", err)
+		}
+		defer zr.Close()
+		br = bufio.NewReaderSize(zr, 1<<20)
+	}
+	g := property.New(property.Options{Directed: true, TrackInEdges: true})
+	seen := make(map[property.VertexID]struct{})
+	ensure := func(id property.VertexID) {
+		if _, ok := seen[id]; !ok {
+			seen[id] = struct{}{}
+			g.AddVertex(id)
+		}
+	}
+	sc := bufio.NewScanner(br)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	edges := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 && len(fields) != 3 {
+			return nil, fmt.Errorf("loader: line %d: want `src dst [weight]`, got %q", lineNo, line)
+		}
+		src, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("loader: line %d: %w", lineNo, err)
+		}
+		dst, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("loader: line %d: %w", lineNo, err)
+		}
+		w := 1.0
+		if len(fields) == 3 {
+			if w, err = strconv.ParseFloat(fields[2], 64); err != nil {
+				return nil, fmt.Errorf("loader: line %d: %w", lineNo, err)
+			}
+		}
+		ensure(property.VertexID(src))
+		ensure(property.VertexID(dst))
+		if err := g.AddEdge(property.VertexID(src), property.VertexID(dst), w); err != nil {
+			return nil, fmt.Errorf("loader: line %d: %w", lineNo, err)
+		}
+		edges++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if edges == 0 && len(seen) == 0 {
+		return nil, fmt.Errorf("loader: no edges in SNAP input")
+	}
+	return g, nil
+}
+
+// LoadSNAP reads a SNAP edge list (plain or gzipped) from path.
+func LoadSNAP(path string) (*property.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSNAP(f)
 }
 
 // Save writes g to path.

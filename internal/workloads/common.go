@@ -41,6 +41,12 @@ type Options struct {
 	Samples int
 	// MaxIters bounds iterative workloads (GColor rounds, Gibbs burn-in).
 	MaxIters int
+	// Delta, when > 0, overrides SPathDelta's sampled bucket-width
+	// heuristic. Final distances do not depend on it (delta-stepping
+	// converges to the same shortest-path sums for any width), but
+	// wall-clock does: small deltas approach Dijkstra's work-efficiency
+	// with little parallelism, large ones approach Bellman-Ford.
+	Delta float64
 	// Seed drives workload-internal sampling (GUp victims, Gibbs).
 	Seed int64
 	// View is an optional pre-built vertex view; one is created if nil.

@@ -80,6 +80,150 @@ func TestBFSDirOptParallelMatches(t *testing.T) {
 	}
 }
 
+// TestSampleDelta pins the edge-sampled delta heuristic: small arrays
+// are covered exhaustively (stride 1), the estimate is the exact mean
+// then, large arrays sample deterministically, and the result is
+// clamped to >= 1.
+func TestSampleDelta(t *testing.T) {
+	if got := sampleDelta(nil); got != 1 {
+		t.Errorf("sampleDelta(nil) = %v, want 1 (clamp floor)", got)
+	}
+	// 10 edges fit the budget: exact mean, no vertex-stride skew.
+	small := []float64{5, 5, 5, 5, 5, 5, 5, 5, 5, 5}
+	if got := sampleDelta(small); got != 5 {
+		t.Errorf("sampleDelta(uniform 5s) = %v, want 5", got)
+	}
+	// Sub-1 means clamp to the delta floor.
+	if got := sampleDelta([]float64{0.25, 0.25}); got != 1 {
+		t.Errorf("sampleDelta(tiny weights) = %v, want 1", got)
+	}
+	// The old per-vertex heuristic skipped most vertices on small skewed
+	// views; edge sampling must weight every edge equally. 100 weight-9
+	// edges mixed with 100 weight-1 edges => mean 5 exactly.
+	mixed := make([]float64, 200)
+	for i := range mixed {
+		if i%2 == 0 {
+			mixed[i] = 9
+		} else {
+			mixed[i] = 1
+		}
+	}
+	if got := sampleDelta(mixed); got != 5 {
+		t.Errorf("sampleDelta(mixed) = %v, want 5", got)
+	}
+	// Beyond the budget the stride is deterministic: same input, same
+	// estimate, and still within the weight range.
+	big := make([]float64, 3*4096+17)
+	for i := range big {
+		big[i] = 2 + float64(i%7)
+	}
+	a, b := sampleDelta(big), sampleDelta(big)
+	if a != b {
+		t.Errorf("sampleDelta not deterministic: %v vs %v", a, b)
+	}
+	if a < 2 || a > 8 {
+		t.Errorf("sampleDelta(big) = %v, outside weight range [2,8]", a)
+	}
+}
+
+// TestTunedDelta pins the degree normalization: the default width is
+// the mean edge weight over the average out-degree, floored at 0.25.
+func TestTunedDelta(t *testing.T) {
+	// 4 vertices, uniform weight 6, avg out-degree 3 => delta 2.
+	g := property.New(property.Options{Directed: true, TrackInEdges: true})
+	for id := property.VertexID(0); id < 4; id++ {
+		g.AddVertex(id)
+	}
+	for s := property.VertexID(0); s < 4; s++ {
+		for d := property.VertexID(0); d < 4; d++ {
+			if s != d {
+				if err := g.AddEdge(s, d, 6); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	vw := g.ViewWith(property.ViewOpts{})
+	if got := tunedDelta(vw); got != 2 {
+		t.Errorf("tunedDelta(K4, w=6) = %v, want 6/3 = 2", got)
+	}
+	// A huge degree would push delta below the 0.25 floor; the sampled
+	// mean is clamped >= 1 and 1/deg < 0.25 for deg > 4.
+	hub := property.New(property.Options{Directed: true, TrackInEdges: true})
+	for id := property.VertexID(0); id < 10; id++ {
+		hub.AddVertex(id)
+	}
+	for d := property.VertexID(1); d < 10; d++ {
+		if err := hub.AddEdge(0, d, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 9 edges over 10 vertices: avg degree < 1 clamps to 1, so delta is
+	// the (clamped) mean weight.
+	if got := tunedDelta(hub.ViewWith(property.ViewOpts{})); got != 1 {
+		t.Errorf("tunedDelta(sparse hub) = %v, want 1 (deg clamp)", got)
+	}
+}
+
+// TestSPathDeltaOverride checks the -delta plumbing: an explicit width
+// reaches the kernel (reported back in Stats) and leaves the distances
+// untouched — delta steers scheduling, not results.
+func TestSPathDeltaOverride(t *testing.T) {
+	g := gen.Road(800, 4, 0)
+	base, err := SPathDelta(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := gen.Road(800, 4, 0)
+	over, err := SPathDelta(g2, Options{Delta: 3.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Stats["delta"] != 3.5 {
+		t.Errorf("Stats[delta] = %v, want the 3.5 override", over.Stats["delta"])
+	}
+	if base.Visited != over.Visited || base.Checksum != over.Checksum {
+		t.Errorf("delta override changed results: %+v vs %+v", base, over)
+	}
+}
+
+// TestSPathDeltaPartitionSweepBitwise pins the CAS kernel against the
+// partitioned kernel across a k-sweep: per-vertex distances must be
+// bitwise identical (both take minima over the same left-to-right
+// float path sums, so no tolerance is needed).
+func TestSPathDeltaPartitionSweepBitwise(t *testing.T) {
+	base := gen.LDBC(1500, 21, 0)
+	flat, err := SPathDelta(base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := base.Schema().MustField(SPathDistField)
+	fvw := base.View()
+	for _, k := range []int{1, 2, 3, 5, 8} {
+		g := gen.LDBC(1500, 21, 0)
+		vw := g.ViewWith(property.ViewOpts{Partitions: k})
+		res, err := SPathDelta(g, Options{View: vw, Workers: 3})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if res.Visited != flat.Visited || res.Checksum != flat.Checksum {
+			t.Fatalf("k=%d: %d/%g vs flat %d/%g",
+				k, res.Visited, res.Checksum, flat.Visited, flat.Checksum)
+		}
+		pd := g.Schema().MustField(SPathDistField)
+		for i := range vw.Verts {
+			j := fvw.IndexOf(vw.Verts[i].ID)
+			if j < 0 {
+				t.Fatalf("k=%d: vertex %d missing from flat view", k, vw.Verts[i].ID)
+			}
+			a, b := vw.Verts[i].Prop(pd), fvw.Verts[j].Prop(fd)
+			if a != b && !(math.IsInf(a, 1) && math.IsInf(b, 1)) {
+				t.Fatalf("k=%d: dist[%d] = %v, flat %v", k, vw.Verts[i].ID, a, b)
+			}
+		}
+	}
+}
+
 func TestSPathDeltaMatchesDijkstra(t *testing.T) {
 	g := gen.LDBC(1200, 17, 0)
 	dj, err := SPath(g, Options{})
